@@ -1,0 +1,760 @@
+package mits
+
+// One benchmark per experiment of DESIGN.md's per-experiment index
+// (E1–E24), each driving the hot path of the mechanism its figure or
+// table depicts. `go test -bench=. -benchmem` regenerates the
+// performance side of EXPERIMENTS.md; the experiment *tables* come from
+// cmd/experiments.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mits/internal/atm"
+	"mits/internal/baseline"
+	"mits/internal/conference"
+	"mits/internal/courseware"
+	"mits/internal/document"
+	"mits/internal/facilitator"
+	"mits/internal/hytime"
+	"mits/internal/media"
+	"mits/internal/mediastore"
+	"mits/internal/mheg"
+	"mits/internal/mheg/codec"
+	"mits/internal/mheg/engine"
+	"mits/internal/navigator"
+	"mits/internal/production"
+	"mits/internal/sched"
+	"mits/internal/school"
+	"mits/internal/script"
+	"mits/internal/sim"
+	"mits/internal/transport"
+)
+
+func benchID(n uint32) mheg.ID { return mheg.ID{App: "bench", Num: n} }
+
+func mustCompileATM(b *testing.B) *courseware.Compiled {
+	b.Helper()
+	out, err := courseware.CompileIMD(document.SampleATMCourse(), "atm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+func mustEncode(b *testing.B, enc codec.Encoding, o mheg.Object) []byte {
+	b.Helper()
+	data, err := enc.Encode(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// BenchmarkE1Lifecycle — Fig 2.4: one complete object life cycle
+// (encode → decode → new → run to finish → delete → destroy).
+func BenchmarkE1Lifecycle(b *testing.B) {
+	enc := codec.ASN1()
+	src := mheg.NewVideoContent(benchID(1), "store/v.mpg", mheg.Size{W: 352, H: 240}, time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := enc.Encode(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		id, err := e.Ingest(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := e.NewRT(id, "stage")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(rt)
+		clock.Run()
+		e.Delete(rt)
+		e.Destroy(id)
+	}
+}
+
+// BenchmarkE2Synchronization — Fig 2.6: compile and play a 16-object
+// chained synchronization on virtual time.
+func BenchmarkE2Synchronization(b *testing.B) {
+	ids := make([]mheg.ID, 16)
+	models := make([]mheg.Object, 16)
+	for i := range ids {
+		ids[i] = benchID(uint32(i + 1))
+		a, err := mheg.NewAudioContent(ids[i], media.CodingWAV, "x", time.Second, 70)
+		if err != nil {
+			b.Fatal(err)
+		}
+		models[i] = a
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		for _, m := range models {
+			e.AddModel(m)
+		}
+		action, links, err := sched.Chained{Sequence: ids}.Compile(benchID(1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.AddModel(action)
+		for _, l := range links {
+			e.AddModel(l)
+			e.ArmLink(l.ID)
+		}
+		e.ApplyAction(action.ID)
+		if clock.Run() != sim.Time(16*time.Second) {
+			b.Fatal("chain did not span 16s")
+		}
+	}
+}
+
+// BenchmarkE3Interchange — Figs 2.7–2.9: coding a full courseware
+// container in both notations.
+func BenchmarkE3Interchange(b *testing.B) {
+	out, err := courseware.CompileIMD(document.SampleATMCourse(), "atm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, enc := range []codec.Encoding{codec.ASN1(), codec.SGML()} {
+		enc := enc
+		data := mustEncode(b, enc, out.Container)
+		b.Run(enc.Name()+"/encode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(out.Container); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(enc.Name()+"/decode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Pipeline — Fig 3.1: author → store → retrieve → present.
+func BenchmarkE4Pipeline(b *testing.B) {
+	doc := document.SampleATMCourse()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := courseware.CompileIMD(doc, "atm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := codec.ASN1().Encode(out.Container)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := mediastore.New()
+		if _, err := store.PutDocument("c", doc.Title, "asn1", data); err != nil {
+			b.Fatal(err)
+		}
+		rec, err := store.GetDocument("c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		id, err := e.Ingest(rec.Data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := e.NewRT(out.Root, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(rt)
+		clock.Run()
+		_ = id
+	}
+}
+
+// BenchmarkE5Layers — Fig 3.2: one course delivery through the full
+// protocol stack over the simulated ATM network.
+func BenchmarkE5Layers(b *testing.B) {
+	out := mustCompileATM(b)
+	payload := mustEncode(b, codec.ASN1(), out.Container)
+	req, err := transport.EncodeGetDoc("c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		n := atm.New()
+		user := n.AddHost("u")
+		db := n.AddHost("d")
+		sw := n.AddSwitch("s")
+		n.Connect(user, sw, 155e6, 500*time.Microsecond)
+		n.Connect(sw, db, 155e6, 500*time.Microsecond)
+		store := mediastore.New()
+		store.PutDocument("c", "t", "asn1", payload)
+		mux := transport.NewMux()
+		transport.RegisterStore(mux, store)
+		sess, err := transport.OpenATMSession(n, user, db, mux, transport.ATMSessionOptions{ServiceTime: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.CallOver(transport.MethodGetDoc, req); err != nil {
+			b.Fatal(err)
+		}
+		sess.Close()
+	}
+}
+
+// BenchmarkE6Processing — Figs 3.3–3.4: the storage phase's update
+// cycle (publish, update, re-fetch).
+func BenchmarkE6Processing(b *testing.B) {
+	out := mustCompileATM(b)
+	data := mustEncode(b, codec.ASN1(), out.Container)
+	store := mediastore.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("c%d", i%64)
+		if _, err := store.PutDocument(name, "t", "asn1", data, "network/atm"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.GetDocument(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7ClientServer — Fig 3.5: 8 concurrent navigator clients in
+// closed loop against one server over ATM (5 rounds each).
+func BenchmarkE7ClientServer(b *testing.B) {
+	out := mustCompileATM(b)
+	payload := mustEncode(b, codec.ASN1(), out.Container)
+	req, err := transport.EncodeGetDoc("c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := atm.New()
+		n.BufferCells = 65536
+		server := n.AddHost("db")
+		sw := n.AddSwitch("sw")
+		n.Connect(sw, server, 155e6, 500*time.Microsecond)
+		store := mediastore.New()
+		store.PutDocument("c", "t", "asn1", payload)
+		mux := transport.NewMux()
+		transport.RegisterStore(mux, store)
+		served := 0
+		for c := 0; c < 8; c++ {
+			host := n.AddHost(fmt.Sprintf("u%d", c))
+			n.Connect(host, sw, 155e6, 500*time.Microsecond)
+			sess, err := transport.OpenATMSession(n, host, server, mux, transport.ATMSessionOptions{ServiceTime: 2 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var issue func(round int)
+			issue = func(round int) {
+				if round >= 5 {
+					return
+				}
+				sess.Go(transport.MethodGetDoc, req, func(p []byte, err error) {
+					if err == nil {
+						served++
+					}
+					issue(round + 1)
+				})
+			}
+			issue(0)
+		}
+		n.Clock().Run()
+		if served != 40 {
+			b.Fatalf("served %d/40", served)
+		}
+	}
+}
+
+// BenchmarkE8Authoring — Figs 4.1–4.2: compiling the sample document
+// through the authoring layers.
+func BenchmarkE8Authoring(b *testing.B) {
+	doc := document.SampleATMCourse()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := courseware.CompileIMD(doc, "atm"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Hypermedia — Fig 4.3: one navigation step (link firing +
+// page switch) in the compiled hypermedia course.
+func BenchmarkE9Hypermedia(b *testing.B) {
+	out, err := courseware.CompileHyper(document.SampleHyperCourse(), "net")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := mustEncode(b, codec.ASN1(), out.Container)
+	clock := sim.NewClock()
+	e := engine.New(clock)
+	if _, err := e.Ingest(data); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := e.NewRT(out.Root, "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(rt)
+	next := e.RTsOf(out.Objects["s1/next1"])[0]
+	prev := e.RTsOf(out.Objects["s2/prev2"])[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			e.Select(next) // s1 → s2
+		} else {
+			e.Select(prev) // s2 → s1
+		}
+	}
+}
+
+// BenchmarkE10Scenario — Fig 4.4: full passive playback of the ATM
+// course's pre-defined scenario (intro + cells scenes, 28s virtual).
+func BenchmarkE10Scenario(b *testing.B) {
+	out := mustCompileATM(b)
+	data := mustEncode(b, codec.ASN1(), out.Container)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		if _, err := e.Ingest(data); err != nil {
+			b.Fatal(err)
+		}
+		rt, err := e.NewRT(out.Root, "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(rt)
+		if clock.Run() < sim.Time(28*time.Second) {
+			b.Fatal("scenario too short")
+		}
+	}
+}
+
+// BenchmarkE11ClassLibrary — Fig 4.5: instantiate and validate one of
+// each basic library class.
+func BenchmarkE11ClassLibrary(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		objs := []mheg.Object{
+			mheg.NewVideoContent(benchID(1), "store/v.mpg", mheg.Size{W: 64, H: 128}, time.Second),
+			mheg.NewImageContent(benchID(2), "store/i.jpg", mheg.Size{W: 640, H: 480}),
+			mheg.NewTextContent(benchID(3), "text"),
+			mheg.NewGenericValue(benchID(4), mheg.IntValue(42)),
+			mheg.NewComposite(benchID(5), benchID(1), benchID(2)),
+			mheg.NewScript(benchID(6), "mits-script", []byte("x")),
+			mheg.OnSelect(benchID(7), benchID(3), mheg.Act(mheg.OpRun, benchID(1))),
+			mheg.RunAll(benchID(8), benchID(1)),
+			mheg.NewDescriptor(benchID(9), benchID(1)),
+		}
+		for _, o := range objs {
+			if err := o.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE12CoursewareLib — Fig 4.6: build a button group and fire
+// its click link.
+func BenchmarkE12CoursewareLib(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		ids := courseware.NewIDAllocator("bench", 1)
+		tgt := benchID(900)
+		e.AddModel(mheg.NewImageContent(tgt, "store/t.jpg", mheg.Size{}))
+		g := courseware.Button(ids, "Play", mheg.Act(mheg.OpNew, tgt), mheg.Act(mheg.OpRun, tgt))
+		for _, o := range g.Objects {
+			e.AddModel(o)
+		}
+		if _, err := e.NewRT(g.Root, "ui"); err != nil {
+			b.Fatal(err)
+		}
+		e.Select(e.RTsOf(g.Objects[0].Base().ID)[0])
+		if len(e.RTsOf(tgt)) != 1 {
+			b.Fatal("click had no effect")
+		}
+	}
+}
+
+// BenchmarkE13Mediastore — Figs 5.1–5.2: content store/retrieve pairs.
+func BenchmarkE13Mediastore(b *testing.B) {
+	store := mediastore.New()
+	blob := media.EncodeJPEG(640, 480, 13)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	for i := 0; i < b.N; i++ {
+		ref := fmt.Sprintf("store/img%d.jpg", i%256)
+		if err := store.PutContent(ref, "JPEG", blob); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.GetContent(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14Session — Figs 5.3–5.7: a complete learning session
+// (register → enroll → classroom → interact → exit).
+func BenchmarkE14Session(b *testing.B) {
+	sys := NewSystem("bench school")
+	doc, err := SampleATMCourse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.PublishInteractive(doc, CourseInfo{
+		Code: "C1", Name: "ATM", Program: "Eng", DocName: "atm-course",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nav := sys.NewNavigator()
+		if _, err := nav.Register(school.Profile{Name: "s"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := nav.Enroll("C1"); err != nil {
+			b.Fatal(err)
+		}
+		if err := nav.StartCourse("C1"); err != nil {
+			b.Fatal(err)
+		}
+		nav.Clock().RunFor(9 * time.Second)
+		if err := nav.Click("Show cell diagram"); err != nil {
+			b.Fatal(err)
+		}
+		if err := nav.ExitCourse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15MediaFormats — Table 5.1: synthesizing one minute of
+// each playback format.
+func BenchmarkE15MediaFormats(b *testing.B) {
+	b.Run("WAV", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := media.EncodeWAV(time.Minute, 0, 0)
+			b.SetBytes(int64(len(data)))
+		}
+	})
+	b.Run("MIDI", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := media.EncodeMIDI(time.Minute)
+			b.SetBytes(int64(len(data)))
+		}
+	})
+	b.Run("MPEG", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := media.EncodeMPEG(media.VideoParams{Duration: time.Minute, Seed: uint64(i)})
+			b.SetBytes(int64(len(data)))
+		}
+	})
+	b.Run("AVI", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := media.EncodeAVI(media.VideoParams{Duration: time.Minute, Seed: uint64(i)})
+			b.SetBytes(int64(len(data)))
+		}
+	})
+}
+
+// BenchmarkE16Baselines — §1.3: the four-model comparison over 500
+// student arrivals.
+func BenchmarkE16Baselines(b *testing.B) {
+	models := []baseline.Model{
+		baseline.Broadcasting{Period: 7 * 24 * time.Hour},
+		baseline.CDROM{Shipping: 72 * time.Hour},
+		baseline.Narrowband{Bandwidth: 28800, RTT: 200 * time.Millisecond},
+		baseline.Broadband{Bandwidth: 155e6, RTT: 5 * time.Millisecond},
+	}
+	rng := sim.NewRNG(16)
+	arrivals := make([]sim.Time, 500)
+	for i := range arrivals {
+		arrivals[i] = sim.Time(rng.Intn(int(7 * 24 * time.Hour)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := baseline.Compare(models, arrivals, 1<<20)
+		if len(rows) != 4 {
+			b.Fatal("bad comparison")
+		}
+	}
+}
+
+// BenchmarkE17Broadband — §3.3: streaming a 2-second MPEG clip over a
+// reserved contract across a congested bottleneck.
+func BenchmarkE17Broadband(b *testing.B) {
+	clip := media.EncodeMPEG(media.VideoParams{Duration: 2 * time.Second, BitRate: 1.5e6, Seed: 17})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(clip)))
+	for i := 0; i < b.N; i++ {
+		n := atm.New()
+		n.BufferCells = 96
+		srv := n.AddHost("s")
+		cli := n.AddHost("c")
+		x1 := n.AddHost("x1")
+		x2 := n.AddHost("x2")
+		s1 := n.AddSwitch("sw1")
+		s2 := n.AddSwitch("sw2")
+		n.Connect(srv, s1, 155e6, 200*time.Microsecond)
+		n.Connect(x1, s1, 155e6, 200*time.Microsecond)
+		n.Connect(s1, s2, 10e6, 200*time.Microsecond)
+		n.Connect(s2, cli, 155e6, 200*time.Microsecond)
+		n.Connect(s2, x2, 155e6, 200*time.Microsecond)
+		flood, err := n.Open(x1, x2, atm.UBRContract(30e6), atm.OpenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 2000; j++ {
+			flood.Send(make([]byte, 4000))
+		}
+		stats, err := navigator.StreamVideo(n, srv, cli, atm.VBRContract(2e6, 8e6, 200), clip, 500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.MissRate() > 0.01 {
+			b.Fatalf("reserved stream missed %.0f%%", 100*stats.MissRate())
+		}
+	}
+}
+
+// BenchmarkE18ContentSeparation — §3.4.2: scenario fetch cost,
+// referenced vs embedded.
+func BenchmarkE18ContentSeparation(b *testing.B) {
+	out := mustCompileATM(b)
+	store := mediastore.New()
+	if _, err := (&production.Center{}).ProduceForCourse(out, store); err != nil {
+		b.Fatal(err)
+	}
+	embedded := mheg.NewContainer(out.Container.ID)
+	embedded.Info = out.Container.Info
+	for _, item := range out.Container.Items {
+		if c, ok := item.(*mheg.Content); ok && c.Referenced() {
+			rec, err := store.GetContent(c.ContentRef)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp := *c
+			cp.Inline = rec.Data
+			cp.ContentRef = ""
+			embedded.Items = append(embedded.Items, &cp)
+			continue
+		}
+		embedded.Items = append(embedded.Items, item)
+	}
+	b.Run("referenced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := codec.ASN1().Encode(out.Container)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+		}
+	})
+	b.Run("embedded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := codec.ASN1().Encode(embedded)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+		}
+	})
+}
+
+// BenchmarkE19RuntimeReuse — §2.2.2.2: five presentations of one model
+// object through the content cache.
+func BenchmarkE19RuntimeReuse(b *testing.B) {
+	blob := media.EncodeMPEG(media.VideoParams{Duration: time.Second, Seed: 19})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		fetches := 0
+		e := engine.New(clock, engine.WithResolver(engine.ResolverFunc(func(string) ([]byte, error) {
+			fetches++
+			return blob, nil
+		})))
+		c := mheg.NewVideoContent(benchID(1), "store/shared.mpg", mheg.Size{}, time.Second)
+		e.AddModel(c)
+		for k := 0; k < 5; k++ {
+			rt, err := e.NewRT(benchID(1), "ctx")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Run(rt)
+			clock.Run()
+		}
+		if fetches != 1 {
+			b.Fatalf("fetches=%d", fetches)
+		}
+	}
+}
+
+// BenchmarkE20Facilitation — §1.3.1: 60 questions through a 3-line
+// phone queue and a 12-consultant facilitator pool.
+func BenchmarkE20Facilitation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, consultants := range []int{3, 12} {
+			clock := sim.NewClock()
+			rng := sim.NewRNG(20)
+			desk, err := facilitator.NewHelpDesk(clock, consultants, func() time.Duration {
+				return time.Duration(rng.Exp(float64(2 * time.Minute)))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			arr := sim.NewRNG(21)
+			at := sim.Zero
+			for q := 0; q < 60; q++ {
+				at = at.Add(time.Duration(arr.Exp(float64(20 * time.Second))))
+				clock.At(at, func(sim.Time) { desk.Ask(&facilitator.Ticket{Student: "s"}) })
+			}
+			clock.Run()
+			if desk.Answered != 60 {
+				b.Fatal("questions lost")
+			}
+		}
+	}
+}
+
+// BenchmarkE21HyTimePipeline — §2.3: parse HyTime, convert, compile to
+// MHEG, encode for interchange.
+func BenchmarkE21HyTimePipeline(b *testing.B) {
+	src := hytime.SampleCourse().Markup()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		doc, err := hytime.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imd, err := hytime.ToIMD(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := courseware.CompileIMD(imd, "hy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.ASN1().Encode(out.Container); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE22ScriptedTeaching — Fig 2.5: one full adaptive-lesson
+// script run (teach, quiz, remediate) on virtual time.
+func BenchmarkE22ScriptedTeaching(b *testing.B) {
+	src := []byte("run lecture\nwaitfor lecture finished\nset tries 0\nlabel ask\nadd tries 1\nrun quiz\nwait 2s\nif reply(quiz) == \"53\" goto done\nif tries >= 2 goto done\ngoto ask\nlabel done\nstop\n")
+	prog, err := script.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock()
+		e := engine.New(clock)
+		lecture, err := mheg.NewAudioContent(benchID(1), media.CodingWAV, "lec", 5*time.Second, 70)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.AddModel(lecture)
+		e.AddModel(mheg.NewTextContent(benchID(2), "quiz"))
+		host := script.NewEngineHost(e, map[string]mheg.ID{"lecture": benchID(1), "quiz": benchID(2)})
+		inst := script.Start(host, prog)
+		clock.At(sim.Time(6*time.Second), func(sim.Time) {
+			e.SetSelection(e.RTsOf(benchID(2))[0], mheg.StringValue("53"))
+		})
+		clock.Run()
+		if !inst.Done() || inst.Err() != nil {
+			b.Fatalf("script err=%v", inst.Err())
+		}
+	}
+}
+
+// BenchmarkE23QoSAblation — the priority-scheduling half of the
+// ablation: a reserved stream through a congested switch with per-class
+// queueing.
+func BenchmarkE23QoSAblation(b *testing.B) {
+	clip := media.EncodeMPEG(media.VideoParams{Duration: 2 * time.Second, BitRate: 1.5e6, Seed: 23})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := atm.New()
+		n.BufferCells = 96
+		srv := n.AddHost("s")
+		cli := n.AddHost("c")
+		x1 := n.AddHost("x1")
+		x2 := n.AddHost("x2")
+		s1 := n.AddSwitch("sw1")
+		s2 := n.AddSwitch("sw2")
+		n.Connect(srv, s1, 155e6, 200*time.Microsecond)
+		n.Connect(x1, s1, 155e6, 200*time.Microsecond)
+		n.Connect(s1, s2, 10e6, 200*time.Microsecond)
+		n.Connect(s2, cli, 155e6, 200*time.Microsecond)
+		n.Connect(s2, x2, 155e6, 200*time.Microsecond)
+		flood, err := n.Open(x1, x2, atm.UBRContract(30e6), atm.OpenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 2000; j++ {
+			flood.Send(make([]byte, 4000))
+		}
+		stats, err := navigator.StreamVideo(n, srv, cli, atm.VBRContract(2e6, 8e6, 200), clip, 500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.MissRate() > 0.01 {
+			b.Fatal("priority queueing failed")
+		}
+	}
+}
+
+// BenchmarkE24Conferencing — §5.2.1: a 5-second reserved A/V call.
+func BenchmarkE24Conferencing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := atm.New()
+		a := n.AddHost("a")
+		c := n.AddHost("b")
+		sw := n.AddSwitch("sw")
+		n.Connect(a, sw, 155e6, 500*time.Microsecond)
+		n.Connect(sw, c, 155e6, 500*time.Microsecond)
+		s, err := conference.Dial(n, a, c, conference.Options{Duration: 5 * time.Second, VideoEnabled: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Clock().Run()
+		if !s.Usable() {
+			b.Fatal("idle call unusable")
+		}
+	}
+}

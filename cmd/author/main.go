@@ -1,0 +1,148 @@
+// Command author is the courseware editor's batch back end (§4.5): it
+// takes a course document — one of the built-in samples or a skeleton
+// generated from a teaching-architecture framework — compiles it
+// through the authoring layers of Fig 4.2 into an MHEG container, and
+// writes the interchange form.
+//
+//	author -sample atm -encoding asn1 -o atm-course.mheg
+//	author -sample atm -views            # print the §4.5.3 editor views
+//	author -sample hyper -encoding sgml -o net-course.sgml
+//	author -skeleton "Safety Training" -sections "Intro,Hazards,Quiz" -profile risky -o safety.mheg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mits/internal/courseware"
+	"mits/internal/document"
+	"mits/internal/mheg/codec"
+)
+
+func main() {
+	sample := flag.String("sample", "", "built-in sample course: atm | hyper")
+	skeleton := flag.String("skeleton", "", "generate a skeleton course with this title")
+	sections := flag.String("sections", "Section 1,Section 2", "comma-separated section titles for -skeleton")
+	profile := flag.String("profile", "", "student profile for architecture choice: risky|skill|open|sophisticated (combine with +)")
+	encoding := flag.String("encoding", "asn1", "interchange encoding: asn1 | sgml")
+	out := flag.String("o", "", "output file ('-' or empty for stdout)")
+	app := flag.String("app", "course", "MHEG application namespace")
+	views := flag.Bool("views", false, "print the editor views (§4.5.3) instead of compiling")
+	flag.Parse()
+
+	if *views {
+		if err := printViews(*sample); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	enc, err := codec.ByName(*encoding)
+	if err != nil {
+		fail(err)
+	}
+
+	var compiled *courseware.Compiled
+	switch {
+	case *sample == "atm":
+		compiled, err = courseware.CompileIMD(document.SampleATMCourse(), *app)
+	case *sample == "hyper":
+		compiled, err = courseware.CompileHyper(document.SampleHyperCourse(), *app)
+	case *skeleton != "":
+		compiled, err = compileSkeleton(*skeleton, *sections, *profile, *app)
+	default:
+		fail(fmt.Errorf("choose -sample atm|hyper or -skeleton <title>"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	data, err := enc.Encode(compiled.Container)
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "compiled %d MHEG objects (%d scenes, %d media refs) into %d %s bytes\n",
+		len(compiled.Container.Items), len(compiled.Scenes), len(compiled.MediaRefs), len(data), *encoding)
+	for _, ref := range compiled.MediaRefs {
+		fmt.Fprintf(os.Stderr, "  needs media: %s\n", ref)
+	}
+}
+
+func printViews(sample string) error {
+	switch sample {
+	case "atm", "":
+		doc := document.SampleATMCourse()
+		fmt.Print(courseware.LogicalView(doc))
+		for _, scene := range doc.AllScenes() {
+			fmt.Println()
+			fmt.Print(courseware.LayoutView(scene))
+			tl, err := courseware.TimelineView(scene)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tl)
+			if len(scene.Behaviors) > 0 {
+				fmt.Print(courseware.BehaviorView(scene))
+			}
+		}
+		return nil
+	case "hyper":
+		doc := document.SampleHyperCourse()
+		fmt.Print(courseware.PageListView(doc))
+		for _, p := range doc.Pages {
+			fmt.Println()
+			fmt.Print(courseware.NavigationView(doc, p.ID))
+		}
+		return nil
+	default:
+		return fmt.Errorf("views need -sample atm or hyper")
+	}
+}
+
+func compileSkeleton(title, sections, profile, app string) (*courseware.Compiled, error) {
+	var p courseware.StudentProfile
+	for _, part := range strings.Split(profile, "+") {
+		switch strings.TrimSpace(part) {
+		case "risky":
+			p.RiskyPractice = true
+		case "skill":
+			p.SkillTraining = true
+		case "open":
+			p.OpenEnded = true
+		case "sophisticated":
+			p.Sophisticated = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown profile trait %q", part)
+		}
+	}
+	arch := courseware.ChooseArchitecture(p)
+	fw := courseware.FrameworkFor(arch)
+	fmt.Fprintf(os.Stderr, "architecture: %v (%v model)\nguidance: %s\n", arch, fw.Model, fw.Guidance)
+	var secs []string
+	for _, s := range strings.Split(sections, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			secs = append(secs, s)
+		}
+	}
+	imd, hyper, err := fw.Skeleton(title, secs)
+	if err != nil {
+		return nil, err
+	}
+	if hyper != nil {
+		return courseware.CompileHyper(hyper, app)
+	}
+	return courseware.CompileIMD(imd, app)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "author:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (E1–E20, one per figure/table — see DESIGN.md) and prints each
+// report. With -only it runs a single experiment.
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -only E17  # just the broadband experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mits/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment id (E1..E20)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	entries := experiments.All()
+	if *list {
+		for _, e := range entries {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	for _, e := range entries {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		ran++
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment %q (use -list)\n", *only)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed shape checks\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command mitsd is the MITS server daemon: it hosts the courseware
+// database, the school administration service and (optionally) a
+// persisted database image, serving navigator clients over TCP — the
+// server half of the client–server model of Fig 3.5.
+//
+//	mitsd -addr 127.0.0.1:7121                  # fresh school with the sample courses
+//	mitsd -addr :7121 -db /var/mits/school.db   # load/save a database image
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mits"
+	"mits/internal/exercise"
+	"mits/internal/mediastore"
+	"mits/internal/school"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7121", "TCP listen address")
+	dbPath := flag.String("db", "", "database image to load at start and save on shutdown")
+	name := flag.String("school", "MIRL TeleSchool", "school name")
+	noSamples := flag.Bool("no-samples", false, "do not publish the sample courses")
+	flag.Parse()
+
+	var store *mediastore.Store
+	var sch *school.School
+	schoolPath := ""
+	if *dbPath != "" {
+		schoolPath = *dbPath + ".school"
+		if loaded, err := mediastore.Load(*dbPath); err == nil {
+			store = loaded
+			log.Printf("loaded database image %s", *dbPath)
+		} else if !os.IsNotExist(underlying(err)) {
+			log.Fatalf("load %s: %v", *dbPath, err)
+		}
+		if loaded, err := school.Load(schoolPath); err == nil {
+			sch = loaded
+			log.Printf("loaded school image %s", schoolPath)
+		} else if !os.IsNotExist(underlying(err)) {
+			log.Fatalf("load %s: %v", schoolPath, err)
+		}
+	}
+	sys := mits.NewSystemFrom(*name, store, sch)
+
+	if !*noSamples {
+		if err := publishSamples(sys); err != nil {
+			log.Fatalf("publish samples: %v", err)
+		}
+		if err := sys.StockLibrary(); err != nil {
+			log.Fatalf("stock library: %v", err)
+		}
+		if err := publishExercises(sys); err != nil {
+			log.Fatalf("publish exercises: %v", err)
+		}
+	}
+
+	srv, bound, err := sys.ServeTCP(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	docs, contents := sys.Store.Sizes()
+	log.Printf("%s serving on %s (%d documents, %d content objects)", *name, bound, docs, contents)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	srv.Close()
+	if *dbPath != "" {
+		if err := sys.Store.Save(*dbPath); err != nil {
+			log.Printf("save %s: %v", *dbPath, err)
+		} else {
+			log.Printf("saved database image %s", *dbPath)
+		}
+		if err := sys.School.Save(schoolPath); err != nil {
+			log.Printf("save %s: %v", schoolPath, err)
+		} else {
+			log.Printf("saved school image %s", schoolPath)
+		}
+	}
+}
+
+func publishSamples(sys *mits.System) error {
+	atmDoc, err := mits.SampleATMCourse()
+	if err != nil {
+		return err
+	}
+	if _, err := sys.PublishInteractive(atmDoc, mits.CourseInfo{
+		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
+		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm", "broadband"},
+	}); err != nil {
+		return err
+	}
+	hyperDoc, err := mits.SampleHyperCourse()
+	if err != nil {
+		return err
+	}
+	if _, err := sys.PublishHypermedia(hyperDoc, mits.CourseInfo{
+		Code: "ELG5374", Name: "Networking Basics", Program: "Engineering",
+		DocName: "net-course", Sessions: 2, Keywords: []string{"network/basics"},
+		Encoding: "sgml",
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// publishExercises adds a sample problem set and announces it.
+func publishExercises(sys *mits.System) error {
+	if err := sys.Exercises.AddSet(&exercise.Set{
+		ID: "atm-ex1", Course: "ELG5121", Title: "Cells and contracts",
+		Problems: []exercise.Problem{
+			{ID: "p1", Kind: exercise.MultipleChoice, Prompt: "How long is an ATM cell?",
+				Options: []string{"48 bytes", "53 bytes", "64 bytes"}, Answer: "1",
+				Points: 2, Feedback: "48 bytes is only the payload."},
+			{ID: "p2", Kind: exercise.Numeric, Prompt: "Payload bytes per cell?", Answer: "48", Points: 1},
+			{ID: "p3", Kind: exercise.FreeText, Prompt: "Name the cell-rate policing algorithm.",
+				Answer: "GCRA", Points: 3, Feedback: "Generic Cell Rate Algorithm."},
+		},
+	}); err != nil {
+		return err
+	}
+	sys.Facilitator.OpenRoom("atm-questions")
+	_, err := sys.Facilitator.Publish("announcements", "admin",
+		"Exercise atm-ex1 published", "try 'exercises ELG5121' in the navigator")
+	return err
+}
+
+// underlying unwraps a wrapped error chain's last error for IsNotExist.
+func underlying(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		next := u.Unwrap()
+		if next == nil {
+			return err
+		}
+		err = next
+	}
+}

@@ -1,0 +1,59 @@
+package mits_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mits"
+	"mits/internal/school"
+)
+
+// Example assembles a TeleSchool, publishes the paper's sample course,
+// and plays the opening of a student session on virtual time.
+func Example() {
+	sys := mits.NewSystem("MIRL TeleSchool")
+	course, err := mits.SampleATMCourse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.PublishInteractive(course, mits.CourseInfo{
+		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
+		DocName: "atm-course", Sessions: 4,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	nav := sys.NewNavigator()
+	num, err := nav.Register(school.Profile{Name: "Ada Student"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("student number:", num)
+
+	if err := nav.Enroll("ELG5121"); err != nil {
+		log.Fatal(err)
+	}
+	if err := nav.StartCourse("ELG5121"); err != nil {
+		log.Fatal(err)
+	}
+	scene, _ := nav.CurrentScene()
+	fmt.Println("opened in scene:", scene)
+
+	// The 8-second intro plays on virtual time, then auto-advances.
+	nav.Clock().RunFor(9 * time.Second)
+	scene, _ = nav.CurrentScene()
+	fmt.Println("after the intro:", scene)
+
+	// The Fig 4.4b interaction: reveal the diagram early.
+	if err := nav.Click("Show cell diagram"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diagram shown:", len(nav.Screen().Display("stage")) > 0)
+
+	// Output:
+	// student number: 880001
+	// opened in scene: intro
+	// after the intro: cells
+	// diagram shown: true
+}

@@ -1,0 +1,115 @@
+// Adaptive lesson: the two extension layers working together — a course
+// authored in HyTime (the paper's §2.3 pipeline) and a script object
+// (the §6.2 future-work script class) that adapts the lesson to the
+// student's answers with a remediation loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mits/internal/courseware"
+	"mits/internal/hytime"
+	"mits/internal/media"
+	"mits/internal/mheg"
+	"mits/internal/mheg/codec"
+	"mits/internal/mheg/engine"
+	"mits/internal/script"
+	"mits/internal/sim"
+)
+
+func main() {
+	// 1. Author in HyTime: axes, scheduled events, links — then convert
+	//    through the §2.3 pipeline into MHEG.
+	hyDoc := hytime.SampleCourse()
+	src := hyDoc.Markup()
+	fmt.Printf("HyTime authoring form: %d bytes\n", len(src))
+
+	parsed, err := hytime.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imd, err := hytime.ToIMD(parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := courseware.CompileIMD(imd, "hy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := codec.ASN1().Encode(compiled.Container)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted to MHEG: %d objects, %d interchange bytes\n\n", len(compiled.Container.Items), len(wire))
+
+	// 2. An adaptive tutor written in the MITS script language. The
+	//    script teaches, quizzes, and loops into remediation — logic no
+	//    set of pre-resolved links can express (it needs the counter).
+	tutor := []byte(`
+say welcome to the adaptive ATM tutor
+run lesson
+waitfor lesson finished
+set tries 0
+label ask
+add tries 1
+run quiz
+wait 3s
+if reply(quiz) == "53 bytes" goto done
+if tries >= 2 goto remediate
+say not quite - think about header plus payload (attempt $tries)
+goto ask
+label remediate
+say let us review the cell format together
+run review
+waitfor review finished
+goto ask
+label done
+run praise
+say mastered after $tries attempt(s)
+`)
+
+	clock := sim.NewClock()
+	e := engine.New(clock)
+	id := func(n uint32) mheg.ID { return mheg.ID{App: "tutor", Num: n} }
+	lesson, err := mheg.NewAudioContent(id(1), media.CodingWAV, "store/lesson.wav", 6*time.Second, 75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.AddModel(lesson)
+	e.AddModel(mheg.NewTextContent(id(2), "How long is an ATM cell?"))
+	review := mheg.NewVideoContent(id(3), "store/atm/cell-format-review.mpg", mheg.Size{W: 352, H: 240}, 4*time.Second)
+	e.AddModel(review)
+	e.AddModel(mheg.NewTextContent(id(4), "Exactly - 5 header + 48 payload = 53 bytes."))
+	e.AddModel(mheg.NewScript(id(10), script.Language, tutor))
+
+	inst, err := script.Activate(e, id(10), map[string]mheg.ID{
+		"lesson": id(1), "quiz": id(2), "review": id(3), "praise": id(4),
+	}, func(s string) {
+		fmt.Printf("  [tutor @ %v] %s\n", clock.Now(), s)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A struggling student: wrong, wrong (→ remediation), then right.
+	answer := func(at time.Duration, ans string) {
+		clock.At(sim.Zero.Add(at), func(sim.Time) {
+			rts := e.RTsOf(id(2))
+			if len(rts) > 0 {
+				fmt.Printf("  [student @ %v] answers %q\n", clock.Now(), ans)
+				e.SetSelection(rts[0], mheg.StringValue(ans))
+			}
+		})
+	}
+	answer(7*time.Second, "48 bytes")  // quiz 1 appears at 6s
+	answer(10*time.Second, "64 bytes") // quiz 2 at 9s
+	answer(17*time.Second, "53 bytes") // after remediation, quiz 3 at 16s
+
+	clock.Run()
+	if inst.Err() != nil {
+		log.Fatal(inst.Err())
+	}
+	fmt.Printf("\nlesson finished at virtual t=%v after %s quiz attempts\n", clock.Now(), inst.Var("tries"))
+}

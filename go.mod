@@ -1,0 +1,3 @@
+module mits
+
+go 1.22

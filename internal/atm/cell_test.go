@@ -1,0 +1,194 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellHeaderRoundTrip(t *testing.T) {
+	c := Cell{VC: VC{VPI: 123, VCI: 45678}, PTI: PTIUserDataEnd, CLP: 1}
+	h := c.MarshalHeader()
+	var d Cell
+	if err := d.UnmarshalHeader(h); err != nil {
+		t.Fatalf("UnmarshalHeader: %v", err)
+	}
+	if d.VC != c.VC || d.PTI != c.PTI || d.CLP != c.CLP {
+		t.Errorf("round trip got %+v, want %+v", d, c)
+	}
+}
+
+func TestCellHeaderRoundTripProperty(t *testing.T) {
+	f := func(vpi, vci uint16, pti, clp uint8) bool {
+		c := Cell{VC: VC{VPI: vpi & 0xfff, VCI: vci}, PTI: pti & 0x7, CLP: clp & 1}
+		h := c.MarshalHeader()
+		var d Cell
+		if err := d.UnmarshalHeader(h); err != nil {
+			return false
+		}
+		return d.VC == c.VC && d.PTI == c.PTI && d.CLP == c.CLP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellHeaderHECDetectsCorruption(t *testing.T) {
+	c := Cell{VC: VC{VPI: 1, VCI: 100}}
+	h := c.MarshalHeader()
+	h[2] ^= 0x40
+	var d Cell
+	if err := d.UnmarshalHeader(h); err == nil {
+		t.Error("corrupted header accepted")
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if got := (VC{VPI: 2, VCI: 33}).String(); got != "2/33" {
+		t.Errorf("VC.String()=%q, want 2/33", got)
+	}
+}
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 39, 40, 41, 48, 100, 1000, 65535} {
+		pdu := make([]byte, n)
+		for i := range pdu {
+			pdu[i] = byte(i * 7)
+		}
+		cells, err := Segment(VC{VCI: 42}, 1, 0, pdu)
+		if err != nil {
+			t.Fatalf("Segment(%d bytes): %v", n, err)
+		}
+		if want := CellsForPDU(n); len(cells) != want {
+			t.Errorf("%d bytes → %d cells, want %d", n, len(cells), want)
+		}
+		for i, c := range cells {
+			if got := c.EndOfPDU(); got != (i == len(cells)-1) {
+				t.Errorf("cell %d/%d EndOfPDU=%v", i, len(cells), got)
+			}
+			if c.Seq != int64(i) {
+				t.Errorf("cell %d Seq=%d", i, c.Seq)
+			}
+		}
+		var r Reassembler
+		var got []byte
+		done := false
+		for _, c := range cells {
+			if p, ok := r.Push(c); ok {
+				got, done = p, true
+			}
+		}
+		if !done {
+			t.Fatalf("%d bytes: PDU never completed", n)
+		}
+		if !bytes.Equal(got, pdu) {
+			t.Errorf("%d bytes: reassembled PDU differs", n)
+		}
+	}
+}
+
+func TestSegmentRejectsOversizePDU(t *testing.T) {
+	if _, err := Segment(VC{}, 0, 0, make([]byte, MaxPDUSize+1)); err == nil {
+		t.Error("oversize PDU accepted")
+	}
+}
+
+func TestReassemblerDetectsLostCell(t *testing.T) {
+	pdu := make([]byte, 500)
+	for i := range pdu {
+		pdu[i] = byte(i)
+	}
+	cells, _ := Segment(VC{}, 0, 0, pdu)
+	var r Reassembler
+	for i, c := range cells {
+		if i == 2 {
+			continue // drop one middle cell
+		}
+		if _, ok := r.Push(c); ok {
+			t.Fatal("corrupted PDU reassembled successfully")
+		}
+	}
+	if r.Errors() != 1 {
+		t.Errorf("Errors=%d, want 1", r.Errors())
+	}
+}
+
+func TestReassemblerDetectsCorruptPayload(t *testing.T) {
+	cells, _ := Segment(VC{}, 0, 0, []byte("hello telelearning world, this is a test PDU"))
+	cells[0].Payload[3] ^= 0xff
+	var r Reassembler
+	ok := false
+	for _, c := range cells {
+		if _, done := r.Push(c); done {
+			ok = true
+		}
+	}
+	if ok {
+		t.Error("corrupt payload passed CRC")
+	}
+	if r.Errors() != 1 {
+		t.Errorf("Errors=%d, want 1", r.Errors())
+	}
+}
+
+func TestReassemblerRecoversAfterError(t *testing.T) {
+	bad, _ := Segment(VC{}, 0, 0, bytes.Repeat([]byte("first pdu that will be truncated "), 8))
+	good, _ := Segment(VC{}, 0, int64(len(bad)), []byte("second pdu arrives intact"))
+	var r Reassembler
+	for _, c := range bad[:len(bad)-1] {
+		r.Push(c)
+	}
+	// End cell of the bad PDU lost; next PDU's cells arrive. The merged
+	// buffer fails CRC at good's end cell, then the stream recovers.
+	for _, c := range good {
+		r.Push(c)
+	}
+	if r.Errors() != 1 {
+		t.Errorf("Errors=%d, want 1", r.Errors())
+	}
+	again, _ := Segment(VC{}, 0, 99, []byte("third pdu arrives intact too"))
+	var got []byte
+	for _, c := range again {
+		if p, ok := r.Push(c); ok {
+			got = p
+		}
+	}
+	if string(got) != "third pdu arrives intact too" {
+		t.Errorf("post-error PDU = %q", got)
+	}
+}
+
+func TestSegmentReassembleProperty(t *testing.T) {
+	f := func(pdu []byte) bool {
+		if len(pdu) > MaxPDUSize {
+			pdu = pdu[:MaxPDUSize]
+		}
+		cells, err := Segment(VC{VCI: 7}, 0, 0, pdu)
+		if err != nil {
+			return false
+		}
+		var r Reassembler
+		for i, c := range cells {
+			p, ok := r.Push(c)
+			if ok != (i == len(cells)-1) {
+				return false
+			}
+			if ok && !bytes.Equal(p, pdu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellsForPDU(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 40: 1, 41: 2, 88: 2, 89: 3}
+	for n, want := range cases {
+		if got := CellsForPDU(n); got != want {
+			t.Errorf("CellsForPDU(%d)=%d, want %d", n, got, want)
+		}
+	}
+}

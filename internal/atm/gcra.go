@@ -1,0 +1,111 @@
+package atm
+
+import (
+	"time"
+
+	"mits/internal/sim"
+)
+
+// GCRA implements the Generic Cell Rate Algorithm (virtual scheduling
+// form, ITU-T I.371) used both to police arriving traffic at the network
+// edge and to shape outgoing traffic at hosts.
+//
+// A cell conforms when it does not arrive more than the tolerance τ
+// earlier than its theoretical arrival time (TAT); conforming cells
+// advance the TAT by the emission interval T = 1/rate.
+type GCRA struct {
+	increment time.Duration // T: per-cell emission interval
+	tolerance time.Duration // τ: permitted earliness
+	tat       sim.Time      // theoretical arrival time of next cell
+}
+
+// NewGCRA returns a policer for the given cell rate (cells/s) and
+// tolerance. A non-positive rate yields a policer that rejects nothing
+// (infinite rate), matching an unpoliced best-effort connection.
+func NewGCRA(cellRate float64, tolerance time.Duration) *GCRA {
+	var inc time.Duration
+	if cellRate > 0 {
+		inc = time.Duration(float64(time.Second) / cellRate)
+	}
+	return &GCRA{increment: inc, tolerance: tolerance}
+}
+
+// Conforms reports whether a cell arriving at instant now conforms to
+// the contract, updating policer state when it does. Non-conforming
+// cells leave the state untouched (they are dropped or tagged, not
+// counted against the contract).
+func (g *GCRA) Conforms(now sim.Time) bool {
+	if g.increment == 0 {
+		return true
+	}
+	if now < g.tat.Add(-g.tolerance) {
+		return false // arrived too early: exceeds contracted rate
+	}
+	if now > g.tat {
+		g.tat = now
+	}
+	g.tat = g.tat.Add(g.increment)
+	return true
+}
+
+// NextConforming reports the earliest instant ≥ now at which a cell
+// would conform. Shapers use this to space cell emissions exactly at the
+// contracted rate.
+func (g *GCRA) NextConforming(now sim.Time) sim.Time {
+	if g.increment == 0 {
+		return now
+	}
+	earliest := g.tat.Add(-g.tolerance)
+	if earliest < now {
+		return now
+	}
+	return earliest
+}
+
+// DualGCRA couples a PCR policer with an SCR/MBS policer as VBR
+// contracts require: a cell conforms only when it conforms to both.
+type DualGCRA struct {
+	peak      *GCRA
+	sustained *GCRA
+}
+
+// NewDualGCRA builds a dual leaky bucket from a VBR traffic descriptor.
+// The sustained bucket's tolerance is the burst tolerance
+// τs = (MBS−1)·(1/SCR − 1/PCR), the standard formula.
+func NewDualGCRA(td TrafficDescriptor) *DualGCRA {
+	var burstTol time.Duration
+	if td.SCR > 0 && td.PCR > 0 && td.MBS > 1 {
+		burstTol = time.Duration(float64(td.MBS-1) *
+			(float64(time.Second)/td.SCR - float64(time.Second)/td.PCR))
+	}
+	return &DualGCRA{
+		peak:      NewGCRA(td.PCR, td.CDVT),
+		sustained: NewGCRA(td.SCR, burstTol+td.CDVT),
+	}
+}
+
+// Conforms reports conformance against both buckets, updating them only
+// when the cell conforms to both.
+func (d *DualGCRA) Conforms(now sim.Time) bool {
+	// Check without committing, then commit both: GCRA state must not
+	// advance on a cell that the other bucket rejects.
+	if d.peak.increment != 0 && now < d.peak.tat.Add(-d.peak.tolerance) {
+		return false
+	}
+	if d.sustained.increment != 0 && now < d.sustained.tat.Add(-d.sustained.tolerance) {
+		return false
+	}
+	d.peak.Conforms(now)
+	d.sustained.Conforms(now)
+	return true
+}
+
+// NextConforming reports the earliest instant a cell conforms to both
+// buckets.
+func (d *DualGCRA) NextConforming(now sim.Time) sim.Time {
+	t := d.peak.NextConforming(now)
+	if s := d.sustained.NextConforming(now); s > t {
+		t = s
+	}
+	return t
+}

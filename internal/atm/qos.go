@@ -1,0 +1,112 @@
+package atm
+
+import (
+	"fmt"
+	"time"
+)
+
+// ServiceCategory is an ATM Forum service category. Categories map to
+// output-queue priorities: CBR is served first, UBR last, so guaranteed
+// traffic sees bounded queueing delay regardless of best-effort load.
+type ServiceCategory int
+
+const (
+	CBR    ServiceCategory = iota // constant bit rate (e.g. uncompressed audio)
+	RtVBR                         // real-time variable bit rate (e.g. MPEG video)
+	NrtVBR                        // non-real-time VBR (e.g. bulk media transfer)
+	ABR                           // available bit rate
+	UBR                           // unspecified bit rate (best effort)
+	numCategories
+)
+
+var categoryNames = [...]string{"CBR", "rt-VBR", "nrt-VBR", "ABR", "UBR"}
+
+func (c ServiceCategory) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("ServiceCategory(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// RealTime reports whether the category carries delay-sensitive traffic.
+func (c ServiceCategory) RealTime() bool { return c == CBR || c == RtVBR }
+
+// TrafficDescriptor declares a connection's traffic contract.
+// Rates are in cells per second, as in ATM signalling.
+type TrafficDescriptor struct {
+	Category ServiceCategory
+	PCR      float64       // peak cell rate (cells/s), required
+	SCR      float64       // sustainable cell rate, VBR only
+	MBS      int           // maximum burst size in cells, VBR only
+	CDVT     time.Duration // cell delay variation tolerance for policing
+}
+
+// Validate checks the contract for internal consistency.
+func (t TrafficDescriptor) Validate() error {
+	if t.Category < 0 || t.Category >= numCategories {
+		return fmt.Errorf("atm: unknown service category %d", int(t.Category))
+	}
+	if t.PCR <= 0 {
+		return fmt.Errorf("atm: %v contract requires PCR > 0, got %v", t.Category, t.PCR)
+	}
+	switch t.Category {
+	case RtVBR, NrtVBR:
+		if t.SCR <= 0 || t.SCR > t.PCR {
+			return fmt.Errorf("atm: VBR contract requires 0 < SCR ≤ PCR, got SCR=%v PCR=%v", t.SCR, t.PCR)
+		}
+		if t.MBS < 1 {
+			return fmt.Errorf("atm: VBR contract requires MBS ≥ 1, got %d", t.MBS)
+		}
+	case ABR:
+		// SCR carries the MCR floor; it may be zero but not above PCR.
+		if t.SCR < 0 || t.SCR > t.PCR {
+			return fmt.Errorf("atm: ABR contract requires 0 ≤ MCR ≤ PCR, got MCR=%v PCR=%v", t.SCR, t.PCR)
+		}
+	}
+	return nil
+}
+
+// GuaranteedRate reports the cell rate the network must reserve for the
+// contract: PCR for CBR, SCR for VBR, nothing for ABR/UBR. This is what
+// connection admission control sums per link.
+func (t TrafficDescriptor) GuaranteedRate() float64 {
+	switch t.Category {
+	case CBR:
+		return t.PCR
+	case RtVBR, NrtVBR:
+		return t.SCR
+	case ABR:
+		return t.SCR // the MCR floor is reserved
+	default:
+		return 0
+	}
+}
+
+// CBRContract builds a constant-bit-rate contract for a payload bandwidth
+// given in bits per second, accounting for cell header + AAL5 overhead
+// approximately (48 payload bytes per 53-byte cell).
+func CBRContract(payloadBitsPerSec float64) TrafficDescriptor {
+	return TrafficDescriptor{
+		Category: CBR,
+		PCR:      payloadBitsPerSec / (CellPayloadSize * 8),
+		CDVT:     time.Millisecond,
+	}
+}
+
+// VBRContract builds a real-time VBR contract with the given sustained
+// and peak payload bandwidths (bits/s) and burst size in cells.
+func VBRContract(sustainedBits, peakBits float64, mbs int) TrafficDescriptor {
+	return TrafficDescriptor{
+		Category: RtVBR,
+		PCR:      peakBits / (CellPayloadSize * 8),
+		SCR:      sustainedBits / (CellPayloadSize * 8),
+		MBS:      mbs,
+		CDVT:     time.Millisecond,
+	}
+}
+
+// UBRContract builds a best-effort contract capped at the given peak
+// payload bandwidth (bits/s).
+func UBRContract(peakBits float64) TrafficDescriptor {
+	return TrafficDescriptor{Category: UBR, PCR: peakBits / (CellPayloadSize * 8), CDVT: time.Millisecond}
+}

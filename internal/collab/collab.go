@@ -1,0 +1,304 @@
+// Package collab implements the collaborative courseware editing of
+// §6.2's future work: "multimedia collaborative document editing can be
+// used by both courseware authors and students for joint authoring of
+// an interactive multimedia document."
+//
+// The model is scene-granular check-out/commit: several authors work on
+// one interactive multimedia document at once, each locking the scene
+// they edit; commits validate the whole document before they apply, so
+// the shared document is valid after every operation. An operation log
+// records who changed what — the session history a joint-authoring UI
+// would display.
+package collab
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mits/internal/document"
+)
+
+// ErrLocked is returned when a scene is checked out by another author.
+var ErrLocked = errors.New("collab: scene locked by another author")
+
+// ErrNotLocked is returned when committing without a check-out.
+var ErrNotLocked = errors.New("collab: scene not checked out by this author")
+
+// OpKind classifies log entries.
+type OpKind string
+
+// Operation kinds.
+const (
+	OpCheckout OpKind = "checkout"
+	OpCommit   OpKind = "commit"
+	OpRelease  OpKind = "release"
+	OpAdd      OpKind = "add-scene"
+	OpRemove   OpKind = "remove-scene"
+)
+
+// Op is one entry of the session history.
+type Op struct {
+	Seq     int
+	Author  string
+	Kind    OpKind
+	Scene   string
+	Version int // document version after the operation
+}
+
+// Session is one jointly-edited document.
+type Session struct {
+	mu      sync.Mutex
+	doc     *document.IMDoc
+	version int
+	locks   map[string]string // scene id → author
+	log     []Op
+}
+
+// NewSession starts joint authoring over a deep copy of doc.
+func NewSession(doc *document.IMDoc) (*Session, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("collab: initial document invalid: %w", err)
+	}
+	cp, err := copyDoc(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{doc: cp, version: 1, locks: make(map[string]string)}, nil
+}
+
+// copyDoc deep-copies via gob, so session state never aliases caller
+// structures.
+func copyDoc(doc *document.IMDoc) (*document.IMDoc, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(doc); err != nil {
+		return nil, fmt.Errorf("collab: copy document: %w", err)
+	}
+	var out document.IMDoc
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		return nil, fmt.Errorf("collab: copy document: %w", err)
+	}
+	return &out, nil
+}
+
+func copyScene(s *document.Scene) (*document.Scene, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("collab: copy scene: %w", err)
+	}
+	var out document.Scene
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		return nil, fmt.Errorf("collab: copy scene: %w", err)
+	}
+	return &out, nil
+}
+
+func (s *Session) record(author string, kind OpKind, scene string) {
+	s.log = append(s.log, Op{
+		Seq: len(s.log) + 1, Author: author, Kind: kind, Scene: scene, Version: s.version,
+	})
+}
+
+// Version reports the current document version.
+func (s *Session) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Snapshot returns a deep copy of the current document and its version.
+func (s *Session) Snapshot() (*document.IMDoc, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, err := copyDoc(s.doc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cp, s.version, nil
+}
+
+// History returns the operation log.
+func (s *Session) History() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.log...)
+}
+
+// Locks reports current check-outs (scene → author), sorted by scene in
+// the returned slice of pairs.
+func (s *Session) Locks() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Op
+	for scene, author := range s.locks {
+		out = append(out, Op{Author: author, Kind: OpCheckout, Scene: scene})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scene < out[j].Scene })
+	return out
+}
+
+// Checkout locks a scene for an author and returns an editable copy.
+// An author may re-checkout their own scene (idempotent).
+func (s *Session) Checkout(author, sceneID string) (*document.Scene, error) {
+	if author == "" {
+		return nil, errors.New("collab: checkout requires an author")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scene, ok := s.doc.Scene(sceneID)
+	if !ok {
+		return nil, fmt.Errorf("collab: unknown scene %q", sceneID)
+	}
+	if holder, locked := s.locks[sceneID]; locked && holder != author {
+		return nil, fmt.Errorf("%w: %q holds %q", ErrLocked, holder, sceneID)
+	}
+	s.locks[sceneID] = author
+	s.record(author, OpCheckout, sceneID)
+	return copyScene(scene)
+}
+
+// Commit replaces the checked-out scene with the edited version. The
+// whole document is validated first; an invalid edit is rejected and
+// the lock kept so the author can fix it.
+func (s *Session) Commit(author string, edited *document.Scene) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder := s.locks[edited.ID]; holder != author {
+		return fmt.Errorf("%w: scene %q", ErrNotLocked, edited.ID)
+	}
+	// Build a candidate document with the scene replaced.
+	candidate, err := copyDoc(s.doc)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for _, sec := range candidate.Sections {
+		replaceInSection(sec, edited, &replaced)
+	}
+	if !replaced {
+		return fmt.Errorf("collab: scene %q vanished from the document", edited.ID)
+	}
+	if err := candidate.Validate(); err != nil {
+		return fmt.Errorf("collab: commit rejected, document would become invalid: %w", err)
+	}
+	s.doc = candidate
+	s.version++
+	delete(s.locks, edited.ID)
+	s.record(author, OpCommit, edited.ID)
+	return nil
+}
+
+func replaceInSection(sec *document.Section, edited *document.Scene, replaced *bool) {
+	for i, sc := range sec.Scenes {
+		if sc.ID == edited.ID {
+			cp, err := copyScene(edited)
+			if err == nil {
+				sec.Scenes[i] = cp
+				*replaced = true
+			}
+		}
+	}
+	for _, sub := range sec.Subsections {
+		replaceInSection(sub, edited, replaced)
+	}
+}
+
+// Release abandons a check-out without committing.
+func (s *Session) Release(author, sceneID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder := s.locks[sceneID]; holder != author {
+		return fmt.Errorf("%w: scene %q", ErrNotLocked, sceneID)
+	}
+	delete(s.locks, sceneID)
+	s.record(author, OpRelease, sceneID)
+	return nil
+}
+
+// AddScene appends a new scene to the named section (created when
+// absent). The scene id must be new; the candidate document must
+// validate.
+func (s *Session) AddScene(author, sectionTitle string, scene *document.Scene) error {
+	if author == "" {
+		return errors.New("collab: add requires an author")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.doc.Scene(scene.ID); exists {
+		return fmt.Errorf("collab: scene %q already exists", scene.ID)
+	}
+	candidate, err := copyDoc(s.doc)
+	if err != nil {
+		return err
+	}
+	cp, err := copyScene(scene)
+	if err != nil {
+		return err
+	}
+	placed := false
+	for _, sec := range candidate.Sections {
+		if sec.Title == sectionTitle {
+			sec.Scenes = append(sec.Scenes, cp)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		candidate.Sections = append(candidate.Sections, &document.Section{
+			Title: sectionTitle, Scenes: []*document.Scene{cp},
+		})
+	}
+	if err := candidate.Validate(); err != nil {
+		return fmt.Errorf("collab: add rejected: %w", err)
+	}
+	s.doc = candidate
+	s.version++
+	s.record(author, OpAdd, scene.ID)
+	return nil
+}
+
+// RemoveScene deletes a scene the author has checked out.
+func (s *Session) RemoveScene(author, sceneID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder := s.locks[sceneID]; holder != author {
+		return fmt.Errorf("%w: scene %q", ErrNotLocked, sceneID)
+	}
+	candidate, err := copyDoc(s.doc)
+	if err != nil {
+		return err
+	}
+	removed := false
+	var prune func(sec *document.Section)
+	prune = func(sec *document.Section) {
+		kept := sec.Scenes[:0]
+		for _, sc := range sec.Scenes {
+			if sc.ID == sceneID {
+				removed = true
+				continue
+			}
+			kept = append(kept, sc)
+		}
+		sec.Scenes = kept
+		for _, sub := range sec.Subsections {
+			prune(sub)
+		}
+	}
+	for _, sec := range candidate.Sections {
+		prune(sec)
+	}
+	if !removed {
+		return fmt.Errorf("collab: scene %q not found", sceneID)
+	}
+	if err := candidate.Validate(); err != nil {
+		return fmt.Errorf("collab: remove rejected: %w", err)
+	}
+	s.doc = candidate
+	s.version++
+	delete(s.locks, sceneID)
+	s.record(author, OpRemove, sceneID)
+	return nil
+}

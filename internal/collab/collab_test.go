@@ -1,0 +1,271 @@
+package collab
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mits/internal/courseware"
+	"mits/internal/document"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(document.SampleATMCourse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionIsolation(t *testing.T) {
+	orig := document.SampleATMCourse()
+	s, err := NewSession(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's document must not affect the session.
+	origScene, _ := orig.Scene("cells")
+	origScene.Title = "VANDALIZED"
+	snap, v, err := s.Snapshot()
+	if err != nil || v != 1 {
+		t.Fatal(err)
+	}
+	sc, _ := snap.Scene("cells")
+	if sc.Title == "VANDALIZED" {
+		t.Error("session aliases the caller's document")
+	}
+	// And mutating a snapshot must not affect the session either.
+	sc.Title = "ALSO VANDALIZED"
+	snap2, _, _ := s.Snapshot()
+	sc2, _ := snap2.Scene("cells")
+	if sc2.Title == "ALSO VANDALIZED" {
+		t.Error("snapshot aliases session state")
+	}
+}
+
+func TestCheckoutCommitFlow(t *testing.T) {
+	s := newSession(t)
+	scene, err := s.Checkout("alice", "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene.Title = "ATM Cells, revised"
+	scene.Objects = append(scene.Objects, document.SceneObject{
+		ID: "extra-caption", Kind: document.ObjText, Text: "53 = 5 + 48",
+		Duration: 5 * time.Second, Channel: "stage",
+	})
+	scene.Timeline = append(scene.Timeline, document.Placement{
+		Object: "extra-caption", Kind: document.PlaceAt, Offset: 2 * time.Second,
+	})
+	if err := s.Commit("alice", scene); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 2 {
+		t.Errorf("version %d", s.Version())
+	}
+	snap, _, _ := s.Snapshot()
+	got, _ := snap.Scene("cells")
+	if got.Title != "ATM Cells, revised" {
+		t.Error("commit not applied")
+	}
+	if _, ok := got.Object("extra-caption"); !ok {
+		t.Error("added object missing")
+	}
+	// Lock released after commit.
+	if _, err := s.Checkout("bob", "cells"); err != nil {
+		t.Errorf("checkout after commit: %v", err)
+	}
+}
+
+func TestLockConflicts(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Checkout("alice", "cells"); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot take Alice's scene…
+	if _, err := s.Checkout("bob", "cells"); !errors.Is(err, ErrLocked) {
+		t.Errorf("err=%v", err)
+	}
+	// …but can take another scene concurrently.
+	if _, err := s.Checkout("bob", "quiz"); err != nil {
+		t.Errorf("parallel checkout failed: %v", err)
+	}
+	// Alice re-checkout is idempotent.
+	if _, err := s.Checkout("alice", "cells"); err != nil {
+		t.Errorf("re-checkout: %v", err)
+	}
+	// Release frees the scene for Bob.
+	if err := s.Release("alice", "cells"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkout("bob", "cells"); err != nil {
+		t.Errorf("checkout after release: %v", err)
+	}
+	// Release by a non-holder fails.
+	if err := s.Release("alice", "cells"); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("err=%v", err)
+	}
+	if locks := s.Locks(); len(locks) != 2 {
+		t.Errorf("locks %v", locks)
+	}
+}
+
+func TestCommitWithoutCheckout(t *testing.T) {
+	s := newSession(t)
+	scene := &document.Scene{ID: "cells"}
+	if err := s.Commit("mallory", scene); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("err=%v", err)
+	}
+}
+
+func TestInvalidCommitRejectedAndLockKept(t *testing.T) {
+	s := newSession(t)
+	scene, _ := s.Checkout("alice", "cells")
+	scene.Objects = nil // timeline now references removed objects
+	err := s.Commit("alice", scene)
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("invalid commit accepted: %v", err)
+	}
+	if s.Version() != 1 {
+		t.Error("version bumped by rejected commit")
+	}
+	// The lock survives so Alice can fix her edit.
+	if _, err := s.Checkout("bob", "cells"); !errors.Is(err, ErrLocked) {
+		t.Error("lock lost after rejected commit")
+	}
+}
+
+func TestAddAndRemoveScene(t *testing.T) {
+	s := newSession(t)
+	extra, err := courseware.QuizScene("extra-quiz", "What does VPI stand for?",
+		[]courseware.QuizOption{
+			{Label: "Virtual Path Identifier", Correct: true},
+			{Label: "Very Prompt Interface"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddScene("carol", "Assessment", extra); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _ := s.Snapshot()
+	if _, ok := snap.Scene("extra-quiz"); !ok {
+		t.Fatal("added scene missing")
+	}
+	// Duplicate ids rejected.
+	if err := s.AddScene("carol", "Assessment", extra); err == nil {
+		t.Error("duplicate scene added")
+	}
+	// Removing requires a lock.
+	if err := s.RemoveScene("carol", "extra-quiz"); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("err=%v", err)
+	}
+	if _, err := s.Checkout("carol", "extra-quiz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveScene("carol", "extra-quiz"); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _ = s.Snapshot()
+	if _, ok := snap.Scene("extra-quiz"); ok {
+		t.Error("removed scene survives")
+	}
+	// New section is created when absent.
+	extra2, _ := courseware.QuizScene("q9", "Q?", []courseware.QuizOption{{Label: "a", Correct: true}, {Label: "b"}})
+	if err := s.AddScene("carol", "Brand New Section", extra2); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _ = s.Snapshot()
+	found := false
+	for _, sec := range snap.Sections {
+		if sec.Title == "Brand New Section" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new section missing")
+	}
+}
+
+func TestHistoryLog(t *testing.T) {
+	s := newSession(t)
+	sc, _ := s.Checkout("alice", "intro")
+	s.Commit("alice", sc)
+	s.Checkout("bob", "quiz")
+	s.Release("bob", "quiz")
+	ops := s.History()
+	if len(ops) != 4 {
+		t.Fatalf("ops %v", ops)
+	}
+	wantKinds := []OpKind{OpCheckout, OpCommit, OpCheckout, OpRelease}
+	for i, op := range ops {
+		if op.Kind != wantKinds[i] || op.Seq != i+1 {
+			t.Errorf("op %d = %+v", i, op)
+		}
+	}
+	if ops[1].Version != 2 {
+		t.Errorf("commit version %d", ops[1].Version)
+	}
+}
+
+func TestConcurrentAuthors(t *testing.T) {
+	s := newSession(t)
+	scenes := []string{"intro", "cells", "switching", "quiz"}
+	var wg sync.WaitGroup
+	commits := make([]int, len(scenes))
+	for i, sceneID := range scenes {
+		wg.Add(1)
+		go func(i int, sceneID string) {
+			defer wg.Done()
+			author := string(rune('a' + i))
+			for j := 0; j < 10; j++ {
+				sc, err := s.Checkout(author, sceneID)
+				if err != nil {
+					t.Errorf("%s checkout: %v", author, err)
+					return
+				}
+				sc.Title = sc.Title + "."
+				if err := s.Commit(author, sc); err != nil {
+					t.Errorf("%s commit: %v", author, err)
+					return
+				}
+				commits[i]++
+			}
+		}(i, sceneID)
+	}
+	wg.Wait()
+	for i, n := range commits {
+		if n != 10 {
+			t.Errorf("author %d committed %d times", i, n)
+		}
+	}
+	if s.Version() != 41 {
+		t.Errorf("version %d, want 41", s.Version())
+	}
+	// The jointly-edited document still compiles.
+	snap, _, _ := s.Snapshot()
+	if _, err := courseware.CompileIMD(snap, "joint"); err != nil {
+		t.Errorf("jointly edited document does not compile: %v", err)
+	}
+}
+
+func TestNewSessionRejectsInvalid(t *testing.T) {
+	bad := document.SampleATMCourse()
+	bad.Title = ""
+	if _, err := NewSession(bad); err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestCheckoutErrors(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Checkout("", "cells"); err == nil {
+		t.Error("anonymous checkout")
+	}
+	if _, err := s.Checkout("alice", "ghost"); err == nil {
+		t.Error("ghost scene checkout")
+	}
+}

@@ -1,0 +1,144 @@
+package conference
+
+import (
+	"testing"
+	"time"
+
+	"mits/internal/atm"
+)
+
+// confNet builds student — campus — metro — teacher with a constrained
+// metro trunk, optionally congested by bulk cross traffic.
+func confNet(t *testing.T, congested bool) (*atm.Network, *atm.Host, *atm.Host) {
+	t.Helper()
+	n := atm.New()
+	n.BufferCells = 96
+	student := n.AddHost("student")
+	teacher := n.AddHost("teacher")
+	x1 := n.AddHost("bulk1")
+	x2 := n.AddHost("bulk2")
+	campus := n.AddSwitch("campus")
+	metro := n.AddSwitch("metro")
+	n.Connect(student, campus, 155e6, 500*time.Microsecond)
+	n.Connect(x1, campus, 155e6, 500*time.Microsecond)
+	n.Connect(campus, metro, 10e6, 2*time.Millisecond)
+	n.Connect(metro, teacher, 155e6, 500*time.Microsecond)
+	n.Connect(metro, x2, 155e6, 500*time.Microsecond)
+	if congested {
+		flood, err := n.Open(x1, x2, atm.UBRContract(30e6), atm.OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 11000; i++ {
+			flood.Send(make([]byte, 4000))
+		}
+	}
+	return n, student, teacher
+}
+
+func TestAudioOnlyCallOnIdleNetwork(t *testing.T) {
+	n, a, b := confNet(t, false)
+	s, err := Dial(n, a, b, Options{Duration: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Clock().Run()
+	if !s.Usable() {
+		t.Fatalf("idle-network call unusable: %+v", s.Quality)
+	}
+	for i := range s.Quality {
+		q := &s.Quality[i].Audio
+		if q.FramesSent != 500 || q.FramesDelivered != 500 {
+			t.Errorf("party %d audio %d/%d frames", i, q.FramesDelivered, q.FramesSent)
+		}
+		if mean := time.Duration(q.Latency.Mean()); mean > 20*time.Millisecond {
+			t.Errorf("party %d mouth-to-ear %v", i, mean)
+		}
+		if q.LateFrames != 0 {
+			t.Errorf("party %d late frames %d", i, q.LateFrames)
+		}
+	}
+}
+
+func TestVideoCallAddsStreams(t *testing.T) {
+	n, a, b := confNet(t, false)
+	s, err := Dial(n, a, b, Options{Duration: 5 * time.Second, VideoEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Clock().Run()
+	for i := range s.Quality {
+		if s.Quality[i].Video.FramesDelivered != 50 {
+			t.Errorf("party %d video %d/50 frames", i, s.Quality[i].Video.FramesDelivered)
+		}
+	}
+	if !s.Usable() {
+		t.Error("video call unusable on idle network")
+	}
+}
+
+func TestReservedCallSurvivesCongestion(t *testing.T) {
+	n, a, b := confNet(t, true)
+	s, err := Dial(n, a, b, Options{Duration: 10 * time.Second, VideoEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Clock().Run()
+	if !s.Usable() {
+		t.Errorf("reserved call unusable under congestion: audio loss %.2f%%, late %.2f%%",
+			100*s.Quality[0].Audio.LossRate(), 100*s.Quality[0].Audio.LateRate())
+	}
+}
+
+func TestBestEffortCallCollapsesUnderCongestion(t *testing.T) {
+	n, a, b := confNet(t, true)
+	s, err := Dial(n, a, b, Options{Duration: 10 * time.Second, BestEffort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Clock().Run()
+	if s.Usable() {
+		t.Errorf("best-effort call usable under congestion: loss %.2f%% late %.2f%%",
+			100*s.Quality[0].Audio.LossRate(), 100*s.Quality[0].Audio.LateRate())
+	}
+}
+
+func TestHangupReleasesReservations(t *testing.T) {
+	n, a, b := confNet(t, false)
+	// The 10 Mb/s trunk fits a handful of reserved video calls; dialing
+	// forever without hangup must eventually hit admission control.
+	var sessions []*Session
+	var dialErr error
+	for i := 0; i < 100; i++ {
+		s, err := Dial(n, a, b, Options{Duration: time.Second, VideoEnabled: true})
+		if err != nil {
+			dialErr = err
+			break
+		}
+		sessions = append(sessions, s)
+	}
+	if dialErr == nil {
+		t.Fatal("admission control never refused a call")
+	}
+	// Hanging up frees capacity for a new call.
+	for _, s := range sessions {
+		s.Hangup()
+	}
+	if _, err := Dial(n, a, b, Options{Duration: time.Second}); err != nil {
+		t.Errorf("call refused after hangups: %v", err)
+	}
+}
+
+func TestQualityAccessors(t *testing.T) {
+	q := StreamQuality{FramesSent: 100, FramesDelivered: 90, LateFrames: 9}
+	if q.LossRate() != 0.1 {
+		t.Errorf("loss %v", q.LossRate())
+	}
+	if q.LateRate() != 0.1 {
+		t.Errorf("late %v", q.LateRate())
+	}
+	var empty StreamQuality
+	if empty.LossRate() != 0 || empty.LateRate() != 0 {
+		t.Error("empty quality rates")
+	}
+}

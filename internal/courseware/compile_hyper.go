@@ -1,0 +1,119 @@
+package courseware
+
+import (
+	"fmt"
+
+	"mits/internal/document"
+	"mits/internal/media"
+	"mits/internal/mheg"
+)
+
+// CompileHyper maps a hypermedia document onto MHEG objects. Each page
+// becomes a composite whose start-up runs its items in parallel; each
+// navigation link becomes an MHEG link on its condition item that stops
+// the current page and runs the target page. The course root's
+// start-up runs the start page.
+func CompileHyper(doc *document.HyperDoc, app string) (*Compiled, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	ids := NewIDAllocator(app, 1)
+	out := &Compiled{
+		App:            app,
+		Scenes:         make(map[string]mheg.ID),
+		Objects:        make(map[string]mheg.ID),
+		AdvanceButtons: make(map[string]mheg.ID),
+	}
+	var objects []mheg.Object
+	codings := make(map[media.Coding]bool)
+
+	// Pre-allocate page composite ids for forward links.
+	for _, p := range doc.Pages {
+		out.Scenes[p.ID] = ids.Next()
+	}
+
+	for _, p := range doc.Pages {
+		var components []mheg.ID
+		itemIDs := make(map[string]mheg.ID, len(p.Items))
+		for _, it := range p.Items {
+			id := ids.Next()
+			itemIDs[it.ID] = id
+			out.Objects[p.ID+"/"+it.ID] = id
+			var content *mheg.Content
+			switch it.Kind {
+			case document.ItemMedia:
+				coding := codingForRef(it.Media, document.ObjText)
+				content = mheg.NewContent(id, coding, it.Media)
+				content.OrigSize = mheg.Size{W: it.At.W, H: it.At.H}
+				content.Info.Name = "media:" + it.ID
+				codings[coding] = true
+				out.MediaRefs = append(out.MediaRefs, it.Media)
+			case document.ItemWord:
+				content = mheg.NewTextContent(id, it.Text)
+				content.Info.Name = "word:" + it.Text
+				codings[media.CodingASCII] = true
+			case document.ItemChoice:
+				content = mheg.NewTextContent(id, it.Text)
+				content.Info.Name = "button:" + it.Text
+				codings[media.CodingASCII] = true
+			default:
+				return nil, fmt.Errorf("courseware: page %q item %q: unknown kind %v", p.ID, it.ID, it.Kind)
+			}
+			objects = append(objects, content)
+			components = append(components, id)
+		}
+
+		// Start-up: run every item in parallel.
+		startup := mheg.NewAction(ids.Next())
+		for _, cid := range components {
+			startup.Items = append(startup.Items, mheg.Act(mheg.OpRun, cid))
+		}
+		objects = append(objects, startup)
+
+		// Navigation links out of this page.
+		var linkIDs []mheg.ID
+		for _, nav := range doc.Choices(p.ID) {
+			l := mheg.OnSelect(ids.Next(), itemIDs[nav.Condition],
+				mheg.Act(mheg.OpStop, out.Scenes[nav.From]),
+				mheg.Act(mheg.OpRun, out.Scenes[nav.To]),
+			)
+			l.Info.Name = fmt.Sprintf("nav:%s->%s", nav.From, nav.To)
+			objects = append(objects, l)
+			linkIDs = append(linkIDs, l.ID)
+		}
+
+		comp := mheg.NewComposite(out.Scenes[p.ID], components...)
+		comp.Info.Name = "page:" + p.ID
+		comp.Links = linkIDs
+		comp.StartUp = startup.ID
+		objects = append(objects, comp)
+	}
+
+	// Root composite.
+	rootID := ids.Next()
+	start := doc.StartPage()
+	startup := mheg.NewAction(ids.Next(), mheg.Act(mheg.OpRun, out.Scenes[start.ID]))
+	root := mheg.NewComposite(rootID)
+	root.Info.Name = doc.Title
+	for _, p := range doc.Pages {
+		root.Components = append(root.Components, out.Scenes[p.ID])
+	}
+	root.StartUp = startup.ID
+	objects = append(objects, startup, root)
+	out.Root = rootID
+
+	desc := mheg.NewDescriptor(ids.Next(), rootID)
+	for coding := range codings {
+		if need, ok := resourceNeeds[coding]; ok {
+			desc.Needs = append(desc.Needs, need)
+		}
+	}
+	desc.ReadMe = fmt.Sprintf("hypermedia courseware %q compiled by MITS", doc.Title)
+	objects = append(objects, desc)
+	out.Descriptor = desc
+
+	container := mheg.NewContainer(ids.Next(), objects...)
+	container.Info.Name = doc.Title
+	out.Container = container
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package courseware
+
+import (
+	"fmt"
+
+	"mits/internal/document"
+)
+
+// Architecture is one of Schank's six teaching architectures (§4.2),
+// which MITS offers to authors as frameworks (§4.5.1).
+type Architecture int
+
+// The six teaching architectures.
+const (
+	SimulationBased Architecture = iota // learning by doing on a simulator
+	IncidentalLearning
+	LearningByReflection
+	CaseBasedTeaching
+	LearningByExploring
+	GoalDirectedLearning
+)
+
+var archNames = [...]string{
+	"simulation-based learning by doing",
+	"incidental learning",
+	"learning by reflection",
+	"case-based teaching",
+	"learning by exploring",
+	"goal-directed learning",
+}
+
+func (a Architecture) String() string {
+	if a < 0 || int(a) >= len(archNames) {
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+	return archNames[a]
+}
+
+// StudentProfile summarizes the analysis step of courseware production
+// (§4.1.1): who learns what, with what background.
+type StudentProfile struct {
+	// Sophisticated learners "know exactly what to learn and how to
+	// filter knowledge" (§4.3.1) and cope with free navigation.
+	Sophisticated bool
+	// SkillTraining marks hands-on, procedural subject matter.
+	SkillTraining bool
+	// RiskyPractice marks domains where real practice is dangerous or
+	// expensive (pilot training).
+	RiskyPractice bool
+	// OpenEnded marks exploratory subject matter without a fixed
+	// syllabus.
+	OpenEnded bool
+}
+
+// ChooseArchitecture applies the analysis heuristics of §4.1.1/§4.2: the
+// teaching architecture follows from the knowledge type and the learner
+// profile.
+func ChooseArchitecture(p StudentProfile) Architecture {
+	switch {
+	case p.RiskyPractice:
+		return SimulationBased
+	case p.SkillTraining:
+		return CaseBasedTeaching
+	case p.OpenEnded && p.Sophisticated:
+		return LearningByExploring
+	case p.OpenEnded:
+		return IncidentalLearning
+	case p.Sophisticated:
+		return LearningByReflection
+	default:
+		return GoalDirectedLearning
+	}
+}
+
+// DocumentModel names the document model a framework selects: "the
+// chosen of a specific framework will result in a corresponding
+// document model to be selected" (§4.5.1).
+type DocumentModel int
+
+// Document models.
+const (
+	HypermediaModel DocumentModel = iota
+	InteractiveModel
+)
+
+func (m DocumentModel) String() string {
+	if m == HypermediaModel {
+		return "hypermedia"
+	}
+	return "interactive-multimedia"
+}
+
+// Framework is the authoring skeleton for one teaching architecture.
+type Framework struct {
+	Architecture Architecture
+	Model        DocumentModel
+	// Guidance is shown to the author in the editor.
+	Guidance string
+}
+
+// FrameworkFor returns the framework of an architecture. Exploration
+// favours the free-navigation hypermedia model; the rest use pre-scripted
+// interactive documents.
+func FrameworkFor(a Architecture) Framework {
+	switch a {
+	case LearningByExploring, IncidentalLearning:
+		return Framework{
+			Architecture: a,
+			Model:        HypermediaModel,
+			Guidance:     "provide a rich web of pages with glossary words and optional side paths; keep every page reachable",
+		}
+	case SimulationBased:
+		return Framework{
+			Architecture: a,
+			Model:        InteractiveModel,
+			Guidance:     "alternate simulator scenes with story-telling scenes; wire failure behaviors to remediation scenes",
+		}
+	case CaseBasedTeaching:
+		return Framework{
+			Architecture: a,
+			Model:        InteractiveModel,
+			Guidance:     "present a case, pause for the student's decision, then tell the expert's story",
+		}
+	case LearningByReflection:
+		return Framework{
+			Architecture: a,
+			Model:        InteractiveModel,
+			Guidance:     "after each section ask the student to articulate what they saw; branch on their answers",
+		}
+	default:
+		return Framework{
+			Architecture: a,
+			Model:        InteractiveModel,
+			Guidance:     "state the goal up front, let scenes be skipped, and track progress toward the goal",
+		}
+	}
+}
+
+// Skeleton generates a starter document for the framework: the author
+// "need only to fill the media objects into the frameworks" (§4.5.1).
+// The returned document validates as-is and carries placeholder text
+// marking the slots to fill.
+func (f Framework) Skeleton(title string, sections []string) (*document.IMDoc, *document.HyperDoc, error) {
+	if title == "" {
+		return nil, nil, fmt.Errorf("courseware: skeleton needs a title")
+	}
+	if len(sections) == 0 {
+		sections = []string{"Section 1"}
+	}
+	if f.Model == HypermediaModel {
+		doc := &document.HyperDoc{Title: title, Start: "p0"}
+		for i, sec := range sections {
+			id := fmt.Sprintf("p%d", i)
+			page := &document.Page{
+				ID:    id,
+				Title: sec,
+				Items: []document.PageItem{
+					{ID: id + "-body", Kind: document.ItemMedia, Media: "store/TODO-" + id,
+						At: document.Region{W: 500, H: 400}},
+				},
+			}
+			if i+1 < len(sections) {
+				page.Items = append(page.Items, document.PageItem{
+					ID: id + "-next", Kind: document.ItemChoice, Text: "Next Section"})
+				doc.Links = append(doc.Links, document.NavLink{
+					From: id, Condition: id + "-next", To: fmt.Sprintf("p%d", i+1)})
+			}
+			doc.Pages = append(doc.Pages, page)
+		}
+		return nil, doc, doc.Validate()
+	}
+	doc := &document.IMDoc{Title: title}
+	for i, sec := range sections {
+		sceneID := fmt.Sprintf("scene%d", i)
+		doc.Sections = append(doc.Sections, &document.Section{
+			Title: sec,
+			Scenes: []*document.Scene{{
+				ID:    sceneID,
+				Title: sec,
+				Objects: []document.SceneObject{
+					{ID: sceneID + "-body", Kind: document.ObjText,
+						Text: "TODO: fill in " + sec, At: document.Region{W: 500, H: 400}},
+				},
+				Timeline: []document.Placement{{Object: sceneID + "-body", Kind: document.PlaceAt}},
+			}},
+		})
+	}
+	return doc, nil, doc.Validate()
+}

@@ -1,0 +1,196 @@
+package courseware
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mits/internal/document"
+	"mits/internal/mheg"
+	"mits/internal/sched"
+)
+
+// The courseware editor presents a document through four views
+// (§4.5.3): "a logical view, a layout view, a time-line view, as well
+// as a behavior view". The GUI is out of scope; these functions render
+// each view as text, which is what cmd/author prints and what an editor
+// front end would populate widgets from. Hypermedia documents get the
+// page list and navigation view of the same section.
+
+// LogicalView renders the section/scene/object hierarchy (Fig 4.4a).
+func LogicalView(doc *document.IMDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "course %q\n", doc.Title)
+	var walk func(sec *document.Section, indent string)
+	walk = func(sec *document.Section, indent string) {
+		fmt.Fprintf(&b, "%s└─ section %q\n", indent, sec.Title)
+		for _, sc := range sec.Scenes {
+			fmt.Fprintf(&b, "%s   └─ scene %q (%d objects)\n", indent, sc.ID, len(sc.Objects))
+			for _, o := range sc.Objects {
+				detail := o.Media
+				if detail == "" {
+					detail = quoteShort(o.Text)
+				}
+				fmt.Fprintf(&b, "%s      └─ %-6s %-16s %s\n", indent, o.Kind, o.ID, detail)
+			}
+		}
+		for _, sub := range sec.Subsections {
+			walk(sub, indent+"   ")
+		}
+	}
+	for _, sec := range doc.Sections {
+		walk(sec, "")
+	}
+	return b.String()
+}
+
+func quoteShort(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	if s == "" {
+		return ""
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+// LayoutView renders each object's spatial placement in a scene —
+// the layout structure of §4.3.3.
+func LayoutView(s *document.Scene) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scene %q layout (generic units)\n", s.ID)
+	for _, o := range s.Objects {
+		fmt.Fprintf(&b, "  %-16s %-6s at (%4d,%4d) size %4dx%-4d channel %q\n",
+			o.ID, o.Kind, o.At.X, o.At.Y, o.At.W, o.At.H, o.Channel)
+	}
+	return b.String()
+}
+
+// TimelineView renders the resolved time-line structure of a scene as a
+// text Gantt chart (Fig 4.4b). Event-driven entries show as "after X".
+func TimelineView(s *document.Scene) (string, error) {
+	ids := NewIDAllocator("view", 1)
+	objIDs := make(map[string]mheg.ID, len(s.Objects))
+	for _, o := range s.Objects {
+		objIDs[o.ID] = ids.Next()
+	}
+	tl := sched.NewTimeline()
+	for _, p := range s.Timeline {
+		var err error
+		o, _ := s.Object(p.Object)
+		switch p.Kind {
+		case document.PlaceAt:
+			err = tl.At(objIDs[p.Object], p.Offset, o.Duration)
+		case document.PlaceWith:
+			err = tl.With(objIDs[p.Object], objIDs[p.Ref], p.Offset, o.Duration)
+		case document.PlaceAfter:
+			err = tl.After(objIDs[p.Object], objIDs[p.Ref], p.Offset, o.Duration)
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+	if err := tl.Resolve(); err != nil {
+		return "", err
+	}
+	span := tl.Span()
+	if span == 0 {
+		span = time.Second
+	}
+	const cols = 48
+	var rows []string
+	for _, p := range s.Timeline {
+		o, _ := s.Object(p.Object)
+		start, ok := tl.Start(objIDs[p.Object])
+		if !ok {
+			rows = append(rows, fmt.Sprintf("  %-16s (after %s finishes)", p.Object, p.Ref))
+			continue
+		}
+		from := int(int64(cols) * int64(start) / int64(span))
+		width := int(int64(cols) * int64(o.Duration) / int64(span))
+		if width < 1 {
+			width = 1
+		}
+		if from+width > cols {
+			width = cols - from
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("█", width)
+		rows = append(rows, fmt.Sprintf("  %-16s |%-*s| %v+%v", p.Object, cols, bar, start, o.Duration))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scene %q time-line (span %v)\n", s.ID, span)
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// BehaviorView renders the behavior structure as the two-column
+// condition/action table of Fig 4.4c ("the behavior view shows on the
+// screen as a table with two fields").
+func BehaviorView(s *document.Scene) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scene %q behaviors\n", s.ID)
+	fmt.Fprintf(&b, "  %-40s | %s\n", "condition set", "action set")
+	fmt.Fprintf(&b, "  %s-+-%s\n", strings.Repeat("-", 40), strings.Repeat("-", 30))
+	for _, beh := range s.Behaviors {
+		var conds, acts []string
+		for _, c := range beh.Conditions {
+			cond := fmt.Sprintf("%s %s", c.Object, c.Event)
+			if c.Value != "" {
+				cond += " == " + c.Value
+			}
+			conds = append(conds, cond)
+		}
+		for _, a := range beh.Actions {
+			acts = append(acts, fmt.Sprintf("%s %s", a.Verb, strings.Join(a.Targets, ",")))
+		}
+		fmt.Fprintf(&b, "  %-40s | %s\n", strings.Join(conds, " AND "), strings.Join(acts, "; "))
+	}
+	return b.String()
+}
+
+// PageListView renders a hypermedia document's page list (§4.5.3: "the
+// page list shows the title of all the pages as well as the media
+// objects included in each page").
+func PageListView(doc *document.HyperDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "document %q pages\n", doc.Title)
+	for _, p := range doc.Pages {
+		fmt.Fprintf(&b, "  %-20s %q\n", p.ID, p.Title)
+		for _, it := range p.Items {
+			detail := it.Media
+			if detail == "" {
+				detail = quoteShort(it.Text)
+			}
+			fmt.Fprintf(&b, "     %-6s %-14s %s\n", it.Kind, it.ID, detail)
+		}
+	}
+	return b.String()
+}
+
+// NavigationView renders the outgoing links of one page — the subset
+// navigation view of §4.5.3 ("a subset view of the navigation structure
+// to show all the nodes which are linked to a specific node").
+func NavigationView(doc *document.HyperDoc, pageID string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "navigation from %q\n", pageID)
+	links := doc.Choices(pageID)
+	sort.Slice(links, func(i, j int) bool { return links[i].Condition < links[j].Condition })
+	for _, l := range links {
+		label := l.Condition
+		if p, ok := doc.Page(l.From); ok {
+			if it, ok := p.Item(l.Condition); ok && it.Text != "" {
+				label = it.Text
+			}
+		}
+		fmt.Fprintf(&b, "  --[%s]--> %s\n", label, l.To)
+	}
+	if len(links) == 0 {
+		b.WriteString("  (terminal page)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package document
+
+import "time"
+
+// SampleATMCourse builds the worked example of Fig 4.4: an interactive
+// multimedia course about ATM technology, with sections, scenes, a
+// time-line containing a user choice, and stop/show behaviors.
+//
+// Media references follow the "store/<name>" convention of the content
+// database.
+func SampleATMCourse() *IMDoc {
+	intro := &Scene{
+		ID:    "intro",
+		Title: "Welcome",
+		Objects: []SceneObject{
+			{ID: "welcome-video", Kind: ObjVideo, Media: "store/atm/welcome.mpg",
+				At: Region{X: 0, Y: 0, W: 352, H: 240}, Duration: 8 * time.Second, Channel: "stage"},
+			{ID: "welcome-music", Kind: ObjAudio, Media: "store/atm/welcome.mid",
+				Duration: 8 * time.Second, Volume: 60, Channel: "audio"},
+			{ID: "title", Kind: ObjText, Text: "Asynchronous Transfer Mode",
+				At: Region{X: 0, Y: 250, W: 352, H: 30}, Channel: "stage"},
+		},
+		Timeline: []Placement{
+			{Object: "welcome-video", Kind: PlaceAt},
+			{Object: "welcome-music", Kind: PlaceWith, Ref: "welcome-video"},
+			{Object: "title", Kind: PlaceAt, Offset: time.Second},
+		},
+	}
+
+	// Fig 4.4b: text1 shows for a pre-defined duration, then image1 —
+	// but choice1 lets the student move on early.
+	cells := &Scene{
+		ID:    "cells",
+		Title: "ATM Cells",
+		Objects: []SceneObject{
+			{ID: "text1", Kind: ObjText, Text: "An ATM cell is 53 bytes: a 5-byte header and a 48-byte payload.",
+				At: Region{X: 0, Y: 0, W: 400, H: 200}, Duration: 20 * time.Second, Channel: "stage"},
+			{ID: "image1", Kind: ObjImage, Media: "store/atm/cell-format.jpg",
+				At: Region{X: 0, Y: 0, W: 400, H: 300}, Channel: "stage"},
+			{ID: "choice1", Kind: ObjButton, Text: "Show cell diagram",
+				At: Region{X: 420, Y: 0, W: 120, H: 30}, Channel: "controls"},
+			{ID: "narration", Kind: ObjAudio, Media: "store/atm/cells.wav",
+				Duration: 20 * time.Second, Volume: 75, Channel: "audio"},
+		},
+		Timeline: []Placement{
+			{Object: "text1", Kind: PlaceAt},
+			{Object: "narration", Kind: PlaceWith, Ref: "text1"},
+			{Object: "image1", Kind: PlaceAfter, Ref: "text1"},
+		},
+		Behaviors: []Behavior{
+			// choice1 clicked → stop text1 early and show image1 now
+			// (Fig 4.4b: the user can display image1 before the
+			// pre-defined time t2).
+			{
+				Conditions: []BCondition{{Object: "choice1", Event: BEvClicked}},
+				Actions: []BAction{
+					{Verb: BStop, Targets: []string{"text1", "narration"}},
+					{Verb: BStart, Targets: []string{"image1"}},
+				},
+			},
+		},
+	}
+
+	// A scene with the Fig 4.4c behaviors: a stop button halting three
+	// objects at once.
+	switching := &Scene{
+		ID:    "switching",
+		Title: "Cell Switching",
+		Objects: []SceneObject{
+			{ID: "audio1", Kind: ObjAudio, Media: "store/atm/switching.wav",
+				Duration: 30 * time.Second, Volume: 75, Channel: "audio"},
+			{ID: "text2", Kind: ObjText, Text: "Switches forward cells by VPI/VCI lookup.",
+				At: Region{X: 0, Y: 260, W: 400, H: 60}, Duration: 30 * time.Second, Channel: "stage"},
+			{ID: "anim1", Kind: ObjVideo, Media: "store/atm/switch-anim.mpg",
+				At: Region{X: 0, Y: 0, W: 352, H: 240}, Duration: 30 * time.Second, Channel: "stage"},
+			{ID: "stopbtn", Kind: ObjButton, Text: "Stop",
+				At: Region{X: 420, Y: 0, W: 80, H: 30}, Channel: "controls"},
+		},
+		Timeline: []Placement{
+			{Object: "audio1", Kind: PlaceAt},
+			{Object: "text2", Kind: PlaceWith, Ref: "audio1"},
+			{Object: "anim1", Kind: PlaceWith, Ref: "audio1"},
+		},
+		Behaviors: []Behavior{
+			{
+				Conditions: []BCondition{{Object: "stopbtn", Event: BEvClicked}},
+				Actions:    []BAction{{Verb: BStop, Targets: []string{"audio1", "text2", "anim1"}}},
+			},
+		},
+	}
+
+	quiz := &Scene{
+		ID:    "quiz",
+		Title: "Test Your Knowledge",
+		Objects: []SceneObject{
+			{ID: "question", Kind: ObjText, Text: "How long is an ATM cell?",
+				At: Region{X: 0, Y: 0, W: 400, H: 60}, Channel: "stage"},
+			{ID: "ans48", Kind: ObjButton, Text: "48 bytes", At: Region{X: 0, Y: 80, W: 120, H: 30}, Channel: "controls"},
+			{ID: "ans53", Kind: ObjButton, Text: "53 bytes", At: Region{X: 0, Y: 120, W: 120, H: 30}, Channel: "controls"},
+			{ID: "right", Kind: ObjText, Text: "Correct!", At: Region{X: 200, Y: 80, W: 200, H: 30}, Channel: "stage"},
+			{ID: "wrong", Kind: ObjText, Text: "Not quite — 48 bytes is only the payload.",
+				At: Region{X: 200, Y: 80, W: 200, H: 60}, Channel: "stage"},
+		},
+		Timeline: []Placement{
+			{Object: "question", Kind: PlaceAt},
+		},
+		Behaviors: []Behavior{
+			{
+				Conditions: []BCondition{{Object: "ans53", Event: BEvClicked}},
+				Actions:    []BAction{{Verb: BStart, Targets: []string{"right"}}},
+			},
+			{
+				Conditions: []BCondition{{Object: "ans48", Event: BEvClicked}},
+				Actions:    []BAction{{Verb: BStart, Targets: []string{"wrong"}}},
+			},
+		},
+	}
+
+	return &IMDoc{
+		Title: "ATM Technology",
+		Sections: []*Section{
+			{
+				Title:  "Introduction",
+				Scenes: []*Scene{intro},
+			},
+			{
+				Title: "The ATM Layer",
+				Subsections: []*Section{
+					{Title: "Cells", Scenes: []*Scene{cells}},
+					{Title: "Switching", Scenes: []*Scene{switching}},
+				},
+			},
+			{
+				Title:  "Assessment",
+				Scenes: []*Scene{quiz},
+			},
+		},
+	}
+}
+
+// SampleHyperCourse builds a hypermedia course following Fig 4.3b:
+// sections linked "Next Section", a "Test Your Knowledge" branch with a
+// question whose answers lead to different pages.
+func SampleHyperCourse() *HyperDoc {
+	return &HyperDoc{
+		Title: "Networking Basics (Hypermedia)",
+		Start: "s1",
+		Pages: []*Page{
+			{
+				ID: "s1", Title: "Section 1: What is a network?",
+				Items: []PageItem{
+					{ID: "s1-text", Kind: ItemMedia, Media: "store/net/s1.html", At: Region{W: 500, H: 400}},
+					{ID: "s1-pic", Kind: ItemMedia, Media: "store/net/lan.jpg", At: Region{Y: 410, W: 320, H: 240}},
+					{ID: "next1", Kind: ItemChoice, Text: "Next Section"},
+					{ID: "test1", Kind: ItemChoice, Text: "Test Your Knowledge"},
+					{ID: "w-protocol", Kind: ItemWord, Text: "protocol"},
+				},
+			},
+			{
+				ID: "glossary-protocol", Title: "Glossary: protocol",
+				Items: []PageItem{
+					{ID: "g-text", Kind: ItemMedia, Media: "store/net/protocol.html", At: Region{W: 500, H: 300}},
+					{ID: "back", Kind: ItemChoice, Text: "Back"},
+				},
+			},
+			{
+				ID: "s2", Title: "Section 2: Switching",
+				Items: []PageItem{
+					{ID: "s2-text", Kind: ItemMedia, Media: "store/net/s2.html", At: Region{W: 500, H: 400}},
+					{ID: "prev2", Kind: ItemChoice, Text: "Previous Section"},
+					{ID: "test2", Kind: ItemChoice, Text: "Test Your Knowledge"},
+				},
+			},
+			{
+				ID: "q1", Title: "Question 1",
+				Items: []PageItem{
+					{ID: "q1-text", Kind: ItemMedia, Media: "store/net/q1.html", At: Region{W: 500, H: 200}},
+					{ID: "q1-right", Kind: ItemChoice, Text: "A set of communication rules"},
+					{ID: "q1-wrong", Kind: ItemChoice, Text: "A kind of cable"},
+				},
+			},
+			{
+				ID: "q1-correct", Title: "Correct",
+				Items: []PageItem{
+					{ID: "ok-text", Kind: ItemMedia, Media: "store/net/correct.html", At: Region{W: 400, H: 100}},
+					{ID: "continue", Kind: ItemChoice, Text: "Continue"},
+				},
+			},
+			{
+				ID: "q1-incorrect", Title: "Review",
+				Items: []PageItem{
+					{ID: "rev-text", Kind: ItemMedia, Media: "store/net/review.html", At: Region{W: 400, H: 200}},
+					{ID: "retry", Kind: ItemChoice, Text: "Try again"},
+				},
+			},
+		},
+		Links: []NavLink{
+			{From: "s1", Condition: "next1", To: "s2"},
+			{From: "s1", Condition: "test1", To: "q1"},
+			{From: "s1", Condition: "w-protocol", To: "glossary-protocol"},
+			{From: "glossary-protocol", Condition: "back", To: "s1"},
+			{From: "s2", Condition: "prev2", To: "s1"},
+			{From: "s2", Condition: "test2", To: "q1"},
+			{From: "q1", Condition: "q1-right", To: "q1-correct"},
+			{From: "q1", Condition: "q1-wrong", To: "q1-incorrect"},
+			{From: "q1-correct", Condition: "continue", To: "s2"},
+			{From: "q1-incorrect", Condition: "retry", To: "q1"},
+		},
+	}
+}

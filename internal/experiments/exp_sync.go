@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/atm"
+	"mits/internal/media"
+	"mits/internal/sim"
+)
+
+// E25InterMediaSync reproduces the §1.2/§2.2.2.3 synchronization
+// taxonomy's bottom layer: inter-media (lip) sync between an audio and
+// a video stream. Three deliveries of the same 8-second talk:
+//
+//   - multiplexed: one AVI-style stream on one VC — audio and video
+//     "glued together in a non-redefinable way" (level 4, inside the
+//     object), so skew is zero by construction;
+//   - separate reserved VCs: audio on CBR, video on rt-VBR — skew stays
+//     within a lip-sync budget even under congestion;
+//   - separate best-effort VCs under congestion — skew and loss blow
+//     through the budget.
+//
+// The lip-sync budget is the broadcast ±80 ms rule.
+func E25InterMediaSync() (*Report, error) {
+	const (
+		talkDur    = 8 * time.Second
+		frameRate  = 25
+		audioFrame = 20 * time.Millisecond
+		budget     = 80 * time.Millisecond
+	)
+	video := media.EncodeMPEG(media.VideoParams{Duration: talkDur, BitRate: 1.2e6, FrameRate: frameRate, Seed: 25})
+	frames, _, err := media.ParseMPEG(video)
+	if err != nil {
+		return nil, err
+	}
+	audioFrames := int(talkDur / audioFrame)
+	const audioBytes = 160 // 64 kb/s PCM per 20 ms
+
+	type result struct {
+		skew      sim.Series // |audio position − video position| at each video arrival
+		maxSkew   time.Duration
+		delivered int
+		lost      int
+	}
+
+	build := func() (*atm.Network, *atm.Host, *atm.Host) {
+		n := atm.New()
+		n.BufferCells = 96
+		srv := n.AddHost("server")
+		cli := n.AddHost("client")
+		x1 := n.AddHost("x1")
+		x2 := n.AddHost("x2")
+		s1 := n.AddSwitch("s1")
+		s2 := n.AddSwitch("s2")
+		n.Connect(srv, s1, 155e6, 200*time.Microsecond)
+		n.Connect(x1, s1, 155e6, 200*time.Microsecond)
+		n.Connect(s1, s2, 10e6, 200*time.Microsecond)
+		n.Connect(s2, cli, 155e6, 200*time.Microsecond)
+		n.Connect(s2, x2, 155e6, 200*time.Microsecond)
+		flood, err := n.Open(x1, x2, atm.UBRContract(30e6), atm.OpenOptions{})
+		if err == nil {
+			for i := 0; i < 8000; i++ {
+				flood.Send(make([]byte, 4000))
+			}
+		}
+		return n, srv, cli
+	}
+
+	// run delivers audio and video on the given contracts (nil video
+	// contract = multiplexed onto the audio connection) and measures
+	// the media-position skew at every video-frame arrival.
+	run := func(audioTD, videoTD *atm.TrafficDescriptor) (*result, error) {
+		n, srv, cli := build()
+		res := &result{}
+		var audioPos, videoPos time.Duration // media time delivered so far
+		observe := func(now sim.Time) {
+			skew := audioPos - videoPos
+			if skew < 0 {
+				skew = -skew
+			}
+			res.skew.AddDuration(skew)
+			if skew > res.maxSkew {
+				res.maxSkew = skew
+			}
+		}
+
+		audioConn, err := n.Open(srv, cli, *audioTD, atm.OpenOptions{
+			Deliver: func(pdu []byte, _, now sim.Time) {
+				if len(pdu) > audioBytes {
+					// Multiplexed: one PDU carries a video frame plus
+					// the audio spanning that frame — both positions
+					// advance together (the "glued" level-4 sync).
+					audioPos += time.Second / frameRate
+					videoPos += time.Second / frameRate
+					res.delivered++
+					observe(now)
+					return
+				}
+				audioPos += audioFrame
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var videoConn *atm.Connection
+		if videoTD != nil {
+			videoConn, err = n.Open(srv, cli, *videoTD, atm.OpenOptions{
+				Deliver: func(pdu []byte, _, now sim.Time) {
+					videoPos += time.Second / frameRate
+					res.delivered++
+					observe(now)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Pace the source: audio every 20 ms; each video frame at PTS.
+		for i := 0; i < audioFrames; i++ {
+			i := i
+			n.Clock().At(sim.Zero.Add(time.Duration(i)*audioFrame), func(sim.Time) {
+				if videoTD != nil {
+					audioConn.Send(make([]byte, audioBytes))
+				}
+			})
+		}
+		for fi, f := range frames {
+			f := f
+			_ = fi
+			n.Clock().At(sim.Zero.Add(f.PTS), func(sim.Time) {
+				size := f.Size
+				if size > atm.MaxPDUSize-audioBytes {
+					size = atm.MaxPDUSize - audioBytes
+				}
+				if videoTD != nil {
+					videoConn.Send(make([]byte, size))
+				} else {
+					// Multiplexed: one PDU carries the frame plus its
+					// share of audio — the AVI interleave.
+					audioConn.Send(make([]byte, size+audioBytes))
+				}
+			})
+		}
+		n.Clock().Run()
+		res.lost = len(frames) - res.delivered
+		return res, nil
+	}
+
+	mux := atm.VBRContract(1.6e6, 8e6, 200)
+	audioCBR := atm.CBRContract(80e3)
+	videoVBR := atm.VBRContract(1.5e6, 8e6, 200)
+	audioUBR := atm.UBRContract(80e3)
+	videoUBR := atm.UBRContract(8e6)
+
+	muxed, err := run(&mux, nil)
+	if err != nil {
+		return nil, err
+	}
+	reserved, err := run(&audioCBR, &videoVBR)
+	if err != nil {
+		return nil, err
+	}
+	bestEffort, err := run(&audioUBR, &videoUBR)
+	if err != nil {
+		return nil, err
+	}
+
+	row := func(name string, r *result) []string {
+		return []string{name,
+			fmt.Sprintf("%d/%d", r.delivered, len(frames)),
+			dur(time.Duration(r.skew.Mean())),
+			dur(r.maxSkew),
+		}
+	}
+	rep := &Report{
+		ID: "E25", Figure: "§1.2 / §2.2.2.3 level 4", Title: "Inter-media (lip) sync under congestion: mux vs separate VCs",
+		Header: []string{"delivery", "video frames", "mean |skew|", "max |skew|"},
+		Rows: [][]string{
+			row("multiplexed single stream (AVI-style)", muxed),
+			row("separate reserved VCs (CBR audio + rt-VBR video)", reserved),
+			row("separate best-effort VCs", bestEffort),
+		},
+		Notes: []string{fmt.Sprintf("lip-sync budget ±%v; within-object sync \"is out of the scope of MHEG\" — the network must provide it for separate streams", budget)},
+	}
+	rep.Pass = muxed.maxSkew <= budget && reserved.maxSkew <= budget &&
+		(bestEffort.maxSkew > budget || bestEffort.lost > len(frames)/10)
+	return rep, nil
+}
+
+// E26ABRFeedback measures the ABR extension: a bulk transfer sharing a
+// 10 Mb/s trunk with a 6 Mb/s CBR flow, carried as rate-adaptive ABR
+// versus best-effort UBR. Feedback should claim roughly the leftover
+// bandwidth with little loss; UBR takes whatever the buffers let
+// through and drops the rest.
+func E26ABRFeedback() (*Report, error) {
+	run := func(abr bool) (*atm.Connection, time.Duration, error) {
+		n := atm.New()
+		n.BufferCells = 256
+		a := n.AddHost("a")
+		b := n.AddHost("b")
+		c := n.AddHost("c")
+		d := n.AddHost("d")
+		s1 := n.AddSwitch("s1")
+		s2 := n.AddSwitch("s2")
+		n.Connect(a, s1, 155e6, 200*time.Microsecond)
+		n.Connect(c, s1, 155e6, 200*time.Microsecond)
+		n.Connect(s1, s2, 10e6, 200*time.Microsecond)
+		n.Connect(s2, b, 155e6, 200*time.Microsecond)
+		n.Connect(s2, d, 155e6, 200*time.Microsecond)
+		cbr, err := n.Open(c, d, atm.CBRContract(6e6), atm.OpenOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < 2000; i++ {
+			n.Clock().At(sim.Time(i)*sim.Time(2*time.Millisecond), func(sim.Time) {
+				cbr.Send(make([]byte, 1400))
+			})
+		}
+		td := atm.ABRContract(20e6, 100e3)
+		if !abr {
+			td = atm.UBRContract(20e6)
+		}
+		bulk, err := n.Open(a, b, td, atm.OpenOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < 1000; i++ { // 4 MB backlog
+			bulk.Send(make([]byte, 4000))
+		}
+		end := n.Clock().Run()
+		return bulk, end.Duration(), nil
+	}
+	abrConn, abrTime, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	ubrConn, ubrTime, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, conn *atm.Connection, span time.Duration) []string {
+		loss := float64(conn.Metrics.CellsDropped) / float64(conn.Metrics.CellsSent)
+		goodput := float64(conn.Metrics.PDUsDelivered*4000*8) / span.Seconds() / 1e6
+		return []string{name,
+			fmt.Sprintf("%d/1000", conn.Metrics.PDUsDelivered),
+			fmt.Sprintf("%.1f%%", 100*loss),
+			fmt.Sprintf("%.2f Mb/s", goodput),
+			fmt.Sprint(conn.RateChanges()),
+		}
+	}
+	r := &Report{
+		ID: "E26", Figure: "extension (ATM Forum TM 4.0)", Title: "ABR rate feedback vs UBR: 4 MB bulk transfer beside a 6 Mb/s CBR flow on a 10 Mb/s trunk",
+		Header: []string{"service", "PDUs delivered", "cell loss", "goodput", "rate changes"},
+		Rows: [][]string{
+			row("ABR (AIMD explicit-rate feedback)", abrConn, abrTime),
+			row("UBR best-effort", ubrConn, ubrTime),
+		},
+		Notes: []string{"ABR reserves only its MCR floor yet fills the leftover trunk capacity without drowning the buffers"},
+	}
+	abrLoss := float64(abrConn.Metrics.CellsDropped) / float64(abrConn.Metrics.CellsSent)
+	ubrLoss := float64(ubrConn.Metrics.CellsDropped) / float64(ubrConn.Metrics.CellsSent)
+	r.Pass = abrConn.Metrics.PDUsDelivered == 1000 && abrLoss < 0.10 && abrLoss < ubrLoss &&
+		abrConn.RateChanges() > 0
+	return r, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassShapeChecks runs every experiment E1–E20 and
+// requires each to reproduce its paper claim (Report.Pass). This is the
+// integration test for the whole evaluation harness.
+func TestAllExperimentsPassShapeChecks(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, entry := range All() {
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			if seen[entry.ID] {
+				t.Fatalf("duplicate experiment id %s", entry.ID)
+			}
+			seen[entry.ID] = true
+			rep, err := entry.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", entry.ID, err)
+			}
+			if rep.ID != entry.ID {
+				t.Errorf("report id %q under entry %q", rep.ID, entry.ID)
+			}
+			if !rep.Pass {
+				t.Errorf("%s shape check failed:\n%s", entry.ID, rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Errorf("%s produced no rows", entry.ID)
+			}
+			if rep.Figure == "" || rep.Title == "" {
+				t.Errorf("%s missing figure/title", entry.ID)
+			}
+			s := rep.String()
+			if !strings.Contains(s, entry.ID) || !strings.Contains(s, "shape-check") {
+				t.Errorf("%s rendering broken:\n%s", entry.ID, s)
+			}
+		})
+	}
+	if len(seen) != 26 {
+		t.Errorf("%d experiments registered, want 26", len(seen))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID: "EX", Figure: "Fig 0", Title: "test",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"row-cell-longer", "x"}},
+		Notes:  []string{"a note"},
+		Pass:   true,
+	}
+	s := r.String()
+	for _, want := range []string{"EX", "long-header", "row-cell-longer", "note: a note", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Error("failing report renders without FAIL")
+	}
+}

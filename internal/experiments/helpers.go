@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mits/internal/courseware"
+	"mits/internal/document"
+	"mits/internal/mheg"
+	"mits/internal/mheg/engine"
+	"mits/internal/navigator"
+	"mits/internal/sim"
+	"mits/internal/transport"
+)
+
+// compiledATM compiles the Fig 4.4 sample course once per call.
+func compiledATM() (*courseware.Compiled, error) {
+	return courseware.CompileIMD(document.SampleATMCourse(), "atm")
+}
+
+// compiledHyper compiles the Fig 4.3 sample course.
+func compiledHyper() (*courseware.Compiled, error) {
+	return courseware.CompileHyper(document.SampleHyperCourse(), "net")
+}
+
+// compileAs compiles an interactive document under a chosen namespace.
+func compileAs(doc *document.IMDoc, app string) (*courseware.Compiled, error) {
+	return courseware.CompileIMD(doc, app)
+}
+
+// navigatorNew wires a navigator to in-process service muxes.
+func navigatorNew(dbMux, schoolMux *transport.Mux) *navigator.Navigator {
+	return navigator.New(navigator.Options{
+		DB:     transport.Loopback{H: dbMux},
+		School: transport.Loopback{H: schoolMux},
+	})
+}
+
+// sortRows orders report rows by their first cell for stable output.
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+}
+
+// localPlayer is a minimal presentation environment: an engine on its
+// own clock resolving content through a database client.
+type localPlayer struct {
+	clock *sim.Clock
+	e     *engine.Engine
+	root  mheg.ID
+}
+
+func newLocalPlayer(db transport.DBClient) *localPlayer {
+	clock := sim.NewClock()
+	return &localPlayer{
+		clock: clock,
+		e:     engine.New(clock, engine.WithResolver(db)),
+	}
+}
+
+// load ingests the container and locates the course root — the
+// compiler appends it as the container's last composite without a
+// "scene:"/"page:" name prefix.
+func (p *localPlayer) load(c *mheg.Container) error {
+	if err := p.e.AddModel(c); err != nil {
+		return err
+	}
+	for _, item := range c.Items {
+		comp, isComp := item.(*mheg.Composite)
+		if !isComp {
+			continue
+		}
+		name := comp.Info.Name
+		if strings.HasPrefix(name, "scene:") || strings.HasPrefix(name, "page:") {
+			continue
+		}
+		p.root = comp.ID
+	}
+	if p.root.Zero() {
+		return fmt.Errorf("experiments: no course root in container %v", c.ID)
+	}
+	return nil
+}
+
+// playRoot runs the course root and drains the clock, returning the
+// virtual span covered.
+func (p *localPlayer) playRoot() (time.Duration, error) {
+	rt, err := p.e.NewRT(p.root, "main")
+	if err != nil {
+		return 0, err
+	}
+	p.e.Run(rt)
+	return p.clock.Run().Duration(), nil
+}

@@ -1,0 +1,302 @@
+package facilitator
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"mits/internal/transport"
+)
+
+// Network method names of the facilitator service.
+const (
+	MethodOpenRoom = "fac.OpenRoom"
+	MethodJoin     = "fac.Join"
+	MethodLeave    = "fac.Leave"
+	MethodSay      = "fac.Say"
+	MethodMessages = "fac.Messages"
+	MethodMembers  = "fac.Members"
+	MethodRooms    = "fac.Rooms"
+	MethodPublish  = "fac.Publish"
+	MethodRead     = "fac.Read"
+	MethodBoards   = "fac.Boards"
+	MethodSend     = "fac.Send"
+	MethodInbox    = "fac.Inbox"
+)
+
+func enc(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func dec(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+type roomMemberReq struct{ Room, Member string }
+type sayReq struct{ Room, Member, Text string }
+type pollReq struct {
+	Name  string
+	After int
+}
+type publishReq struct{ Board, Author, Subject, Body string }
+type mailReq struct{ From, To, Subject, Body string }
+
+// RegisterService exposes a Facilitator on a transport mux.
+func RegisterService(m *transport.Mux, f *Facilitator) {
+	m.Register(MethodOpenRoom, func(_ string, p []byte) ([]byte, error) {
+		var name string
+		if err := dec(p, &name); err != nil {
+			return nil, err
+		}
+		return nil, f.OpenRoom(name)
+	})
+	m.Register(MethodJoin, func(_ string, p []byte) ([]byte, error) {
+		var req roomMemberReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		return nil, f.Join(req.Room, req.Member)
+	})
+	m.Register(MethodLeave, func(_ string, p []byte) ([]byte, error) {
+		var req roomMemberReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		return nil, f.Leave(req.Room, req.Member)
+	})
+	m.Register(MethodSay, func(_ string, p []byte) ([]byte, error) {
+		var req sayReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		seq, err := f.Say(req.Room, req.Member, req.Text)
+		if err != nil {
+			return nil, err
+		}
+		return enc(seq)
+	})
+	m.Register(MethodMessages, func(_ string, p []byte) ([]byte, error) {
+		var req pollReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		msgs, err := f.Messages(req.Name, req.After)
+		if err != nil {
+			return nil, err
+		}
+		return enc(msgs)
+	})
+	m.Register(MethodMembers, func(_ string, p []byte) ([]byte, error) {
+		var name string
+		if err := dec(p, &name); err != nil {
+			return nil, err
+		}
+		members, err := f.Members(name)
+		if err != nil {
+			return nil, err
+		}
+		return enc(members)
+	})
+	m.Register(MethodRooms, func(_ string, _ []byte) ([]byte, error) {
+		return enc(f.Rooms())
+	})
+	m.Register(MethodPublish, func(_ string, p []byte) ([]byte, error) {
+		var req publishReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		seq, err := f.Publish(req.Board, req.Author, req.Subject, req.Body)
+		if err != nil {
+			return nil, err
+		}
+		return enc(seq)
+	})
+	m.Register(MethodRead, func(_ string, p []byte) ([]byte, error) {
+		var req pollReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		posts, err := f.Read(req.Name, req.After)
+		if err != nil {
+			return nil, err
+		}
+		return enc(posts)
+	})
+	m.Register(MethodBoards, func(_ string, _ []byte) ([]byte, error) {
+		return enc(f.Boards())
+	})
+	m.Register(MethodSend, func(_ string, p []byte) ([]byte, error) {
+		var req mailReq
+		if err := dec(p, &req); err != nil {
+			return nil, err
+		}
+		seq, err := f.Send(req.From, req.To, req.Subject, req.Body)
+		if err != nil {
+			return nil, err
+		}
+		return enc(seq)
+	})
+	m.Register(MethodInbox, func(_ string, p []byte) ([]byte, error) {
+		var recipient string
+		if err := dec(p, &recipient); err != nil {
+			return nil, err
+		}
+		return enc(f.Inbox(recipient))
+	})
+}
+
+// Client is the navigator-side view of the facilitator service.
+type Client struct {
+	C transport.Client
+}
+
+// OpenRoom creates a discussion room.
+func (c Client) OpenRoom(name string) error {
+	req, err := enc(name)
+	if err != nil {
+		return err
+	}
+	_, err = c.C.Call(MethodOpenRoom, req)
+	return err
+}
+
+// Join enters a room.
+func (c Client) Join(room, member string) error {
+	req, err := enc(roomMemberReq{Room: room, Member: member})
+	if err != nil {
+		return err
+	}
+	_, err = c.C.Call(MethodJoin, req)
+	return err
+}
+
+// Leave exits a room.
+func (c Client) Leave(room, member string) error {
+	req, err := enc(roomMemberReq{Room: room, Member: member})
+	if err != nil {
+		return err
+	}
+	_, err = c.C.Call(MethodLeave, req)
+	return err
+}
+
+// Say posts a message.
+func (c Client) Say(room, member, text string) (int, error) {
+	req, err := enc(sayReq{Room: room, Member: member, Text: text})
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.C.Call(MethodSay, req)
+	if err != nil {
+		return 0, err
+	}
+	var seq int
+	return seq, dec(out, &seq)
+}
+
+// Messages polls a room.
+func (c Client) Messages(room string, after int) ([]ChatMessage, error) {
+	req, err := enc(pollReq{Name: room, After: after})
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.C.Call(MethodMessages, req)
+	if err != nil {
+		return nil, err
+	}
+	var msgs []ChatMessage
+	return msgs, dec(out, &msgs)
+}
+
+// Members lists a room's members.
+func (c Client) Members(room string) ([]string, error) {
+	req, err := enc(room)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.C.Call(MethodMembers, req)
+	if err != nil {
+		return nil, err
+	}
+	var members []string
+	return members, dec(out, &members)
+}
+
+// Rooms lists open rooms.
+func (c Client) Rooms() ([]string, error) {
+	out, err := c.C.Call(MethodRooms, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rooms []string
+	return rooms, dec(out, &rooms)
+}
+
+// Publish posts to a bulletin board.
+func (c Client) Publish(board, author, subject, body string) (int, error) {
+	req, err := enc(publishReq{Board: board, Author: author, Subject: subject, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.C.Call(MethodPublish, req)
+	if err != nil {
+		return 0, err
+	}
+	var seq int
+	return seq, dec(out, &seq)
+}
+
+// Read polls a board.
+func (c Client) Read(board string, after int) ([]Post, error) {
+	req, err := enc(pollReq{Name: board, After: after})
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.C.Call(MethodRead, req)
+	if err != nil {
+		return nil, err
+	}
+	var posts []Post
+	return posts, dec(out, &posts)
+}
+
+// Boards lists news groups.
+func (c Client) Boards() ([]string, error) {
+	out, err := c.C.Call(MethodBoards, nil)
+	if err != nil {
+		return nil, err
+	}
+	var boards []string
+	return boards, dec(out, &boards)
+}
+
+// SendMail delivers a message to a mailbox.
+func (c Client) SendMail(from, to, subject, body string) (int, error) {
+	req, err := enc(mailReq{From: from, To: to, Subject: subject, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.C.Call(MethodSend, req)
+	if err != nil {
+		return 0, err
+	}
+	var seq int
+	return seq, dec(out, &seq)
+}
+
+// Inbox fetches a mailbox.
+func (c Client) Inbox(recipient string) ([]Mail, error) {
+	req, err := enc(recipient)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.C.Call(MethodInbox, req)
+	if err != nil {
+		return nil, err
+	}
+	var mail []Mail
+	return mail, dec(out, &mail)
+}

@@ -1,0 +1,272 @@
+package hytime
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/document"
+)
+
+// ToIMD converts a HyTime document into the interactive multimedia
+// document model — the §2.3 pipeline that pairs "the expressive power
+// of HyTime and the runtime efficiency of MHEG": author and publish in
+// HyTime, convert once, interchange and present as MHEG.
+//
+// Mapping:
+//
+//   - each FCS containing events on the document's temporal axis
+//     becomes one scene, in document order;
+//   - events become scene objects: the entity's notation selects the
+//     kind, the temporal extent the placement and duration, and extents
+//     on the "x"/"y" axes the layout region;
+//   - text entities that source a user-rule ilink become buttons;
+//   - ilinks become behaviors: rule "user" → clicked, rule "finish" →
+//     finished; targets in another scene become goto actions.
+func ToIMD(d *Doc) (*document.IMDoc, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	tAxis, ok := d.TemporalAxis()
+	if !ok {
+		return nil, fmt.Errorf("hytime: document has no temporal axis to schedule scenes on")
+	}
+	axis, _ := d.Axis(tAxis)
+	eng := NewEngine(d)
+
+	// Which events source a user link? They render as buttons.
+	userSources := make(map[string]bool)
+	finishLinks := make(map[string][]string) // source event → target events
+	userLinks := make(map[string][]string)
+	for _, l := range d.Links {
+		eps, err := eng.Traverse(l.ID)
+		if err != nil {
+			return nil, err
+		}
+		src := eps[0]
+		for _, tgt := range eps[1:] {
+			if l.Rule == RuleUser {
+				userSources[src] = true
+				userLinks[src] = append(userLinks[src], tgt)
+			} else {
+				finishLinks[src] = append(finishLinks[src], tgt)
+			}
+		}
+	}
+
+	// Scene of each event, for cross-scene link targets.
+	sceneOf := make(map[string]string)
+	for _, f := range d.FCSs {
+		for _, ev := range f.Events {
+			if _, ok := ev.Extent(tAxis); ok {
+				sceneOf[ev.ID] = f.ID
+			}
+		}
+	}
+
+	toDuration := func(units int64) time.Duration {
+		return time.Duration(float64(units) / float64(axis.PerSecond) * float64(time.Second))
+	}
+
+	var scenes []*document.Scene
+	for _, f := range d.FCSs {
+		s := &document.Scene{ID: f.ID, Title: f.Title}
+		if s.Title == "" {
+			s.Title = f.ID
+		}
+		hasTimed := false
+		for _, ev := range f.Events {
+			tx, onTime := ev.Extent(tAxis)
+			if !onTime {
+				continue
+			}
+			hasTimed = true
+			ent, _ := d.Entity(ev.Entity)
+			obj := document.SceneObject{ID: ev.ID, Channel: "stage"}
+			switch {
+			case userSources[ev.ID]:
+				obj.Kind = document.ObjButton
+				obj.Text = buttonLabel(ev, ent)
+				obj.Channel = "controls"
+			case kindOfNotation(ent.Notation) == "video":
+				obj.Kind = document.ObjVideo
+				obj.Media = ent.System
+			case kindOfNotation(ent.Notation) == "audio":
+				obj.Kind = document.ObjAudio
+				obj.Media = ent.System
+				obj.Channel = "audio"
+			case kindOfNotation(ent.Notation) == "image":
+				obj.Kind = document.ObjImage
+				obj.Media = ent.System
+			default:
+				obj.Kind = document.ObjText
+				obj.Text = ent.Text
+				if obj.Text == "" {
+					obj.Text = ent.System
+				}
+			}
+			if obj.Kind.Presentable() {
+				obj.Duration = toDuration(tx.Dur)
+			}
+			if xx, ok := ev.Extent("x"); ok {
+				obj.At.X = int(xx.Start)
+				obj.At.W = int(xx.Dur)
+			}
+			if yy, ok := ev.Extent("y"); ok {
+				obj.At.Y = int(yy.Start)
+				obj.At.H = int(yy.Dur)
+			}
+			s.Objects = append(s.Objects, obj)
+			// Buttons live outside the timeline; media places at start.
+			if obj.Kind != document.ObjButton {
+				s.Timeline = append(s.Timeline, document.Placement{
+					Object: ev.ID, Kind: document.PlaceAt, Offset: toDuration(tx.Start),
+				})
+			}
+		}
+		if !hasTimed {
+			continue // a pure layout FCS (rendition target), not a scene
+		}
+		// Behaviors from links whose source is in this scene.
+		for _, ev := range f.Events {
+			addLinkBehaviors(s, ev.ID, userLinks[ev.ID], document.BEvClicked, sceneOf, f.ID)
+			addLinkBehaviors(s, ev.ID, finishLinks[ev.ID], document.BEvFinished, sceneOf, f.ID)
+		}
+		scenes = append(scenes, s)
+	}
+	if len(scenes) == 0 {
+		return nil, fmt.Errorf("hytime: no FCS schedules events on the temporal axis %q", tAxis)
+	}
+	title := d.Title
+	if title == "" {
+		title = d.ID
+	}
+	doc := &document.IMDoc{
+		Title:    title,
+		Sections: []*document.Section{{Title: title, Scenes: scenes}},
+	}
+	return doc, doc.Validate()
+}
+
+func buttonLabel(ev *Event, ent Entity) string {
+	if ev.Label != "" {
+		return ev.Label
+	}
+	if ent.Text != "" {
+		return ent.Text
+	}
+	return ev.ID
+}
+
+func addLinkBehaviors(s *document.Scene, src string, targets []string, event document.BEvent, sceneOf map[string]string, sceneID string) {
+	if len(targets) == 0 {
+		return
+	}
+	var local, remote []string
+	for _, tgt := range targets {
+		if sceneOf[tgt] == sceneID {
+			local = append(local, tgt)
+		} else if other := sceneOf[tgt]; other != "" {
+			remote = append(remote, other)
+		}
+	}
+	b := document.Behavior{
+		Conditions: []document.BCondition{{Object: src, Event: event}},
+	}
+	if len(local) > 0 {
+		b.Actions = append(b.Actions, document.BAction{Verb: document.BStart, Targets: local})
+	}
+	if len(remote) > 0 {
+		b.Actions = append(b.Actions, document.BAction{Verb: document.BGoto, Targets: dedupe(remote)})
+	}
+	if len(b.Actions) > 0 {
+		s.Behaviors = append(s.Behaviors, b)
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SampleCourse builds a HyTime authoring of the ATM course's first two
+// scenes — the document an author-site tool would write before the §2.3
+// pipeline converts it for interchange.
+func SampleCourse() *Doc {
+	return &Doc{
+		ID:    "atm-hytime",
+		Title: "ATM Technology (HyTime authoring)",
+		Axes: []Axis{
+			{Name: "t", Unit: "ms", PerSecond: 1000},
+			{Name: "x", Unit: "vu"},
+			{Name: "y", Unit: "vu"},
+		},
+		Entities: []Entity{
+			{ID: "welcome-clip", System: "store/atm/welcome.mpg", Notation: "MPEG"},
+			{ID: "welcome-tune", System: "store/atm/welcome.mid", Notation: "MIDI"},
+			{ID: "cells-text", Notation: "text", Text: "An ATM cell is 53 bytes: a 5-byte header and a 48-byte payload."},
+			{ID: "cell-diagram", System: "store/atm/cell-format.jpg", Notation: "JPEG"},
+			{ID: "show-btn", Notation: "text", Text: "Show cell diagram"},
+		},
+		FCSs: []*FCS{
+			{
+				ID: "intro", Title: "Welcome", Axes: []string{"t", "x", "y"},
+				Events: []*Event{
+					{ID: "ev-welcome", Entity: "welcome-clip", Extents: []Extent{
+						{Axis: "t", Start: 0, Dur: 8000},
+						{Axis: "x", Start: 0, Dur: 352},
+						{Axis: "y", Start: 0, Dur: 240},
+					}},
+					{ID: "ev-tune", Entity: "welcome-tune", Extents: []Extent{
+						{Axis: "t", Start: 0, Dur: 8000},
+					}},
+				},
+			},
+			{
+				ID: "cells", Title: "ATM Cells", Axes: []string{"t", "x", "y"},
+				Events: []*Event{
+					{ID: "ev-text", Entity: "cells-text", Extents: []Extent{
+						{Axis: "t", Start: 0, Dur: 20000},
+						{Axis: "x", Start: 0, Dur: 400},
+						{Axis: "y", Start: 0, Dur: 200},
+					}},
+					{ID: "ev-diagram", Entity: "cell-diagram", Extents: []Extent{
+						{Axis: "t", Start: 20000, Dur: 10000},
+						{Axis: "x", Start: 0, Dur: 400},
+						{Axis: "y", Start: 0, Dur: 300},
+					}},
+					{ID: "ev-btn", Entity: "show-btn", Extents: []Extent{
+						{Axis: "t", Start: 0, Dur: 20000},
+						{Axis: "x", Start: 420, Dur: 120},
+						{Axis: "y", Start: 0, Dur: 30},
+					}},
+				},
+			},
+		},
+		NameLocs: []NameLoc{
+			{ID: "loc-btn", Ref: "ev-btn"},
+			{ID: "loc-diagram", Ref: "ev-diagram"},
+			{ID: "loc-welcome", Ref: "ev-welcome"},
+			{ID: "loc-text", Ref: "ev-text"},
+		},
+		Links: []ILink{
+			// Clicking the button shows the diagram (Fig 4.4b's choice).
+			{ID: "lnk-show", Endpoints: []string{"loc-btn", "loc-diagram"}, Rule: RuleUser},
+			// When the welcome clip finishes, move to the cells scene.
+			{ID: "lnk-advance", Endpoints: []string{"loc-welcome", "loc-text"}, Rule: RuleFinish},
+		},
+		Renditions: []Rendition{
+			// Map generic video units onto a 2× presentation space.
+			{ID: "rnd-screen", From: "intro", To: "screen", Maps: []AxisMap{
+				{Axis: "x", Scale: 2, Offset: 16},
+				{Axis: "y", Scale: 2, Offset: 16},
+			}},
+		},
+	}
+}

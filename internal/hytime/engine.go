@@ -1,0 +1,164 @@
+package hytime
+
+import (
+	"fmt"
+	"sort"
+
+	"mits/internal/markup"
+)
+
+// Engine is the HyTime engine of Fig 2.3's processing model: after the
+// parser hands it the document, "the engine assumes responsibility for
+// determining where things are on FCS schedules, for resolving document
+// location elements to the data they indicate". Unlike MHEG, whose
+// links arrive fully resolved, every HyTime query pays a resolution
+// step — the E21 experiment counts them.
+type Engine struct {
+	Doc *Doc
+
+	// Resolutions counts address resolutions performed, the runtime
+	// cost §2.3.2 attributes to HyTime presentation.
+	Resolutions int
+}
+
+// NewEngine wraps a validated document.
+func NewEngine(d *Doc) *Engine { return &Engine{Doc: d} }
+
+// ResolveLocation resolves a location id (nameloc or treeloc) to the id
+// of the element it addresses.
+func (e *Engine) ResolveLocation(locID string) (string, error) {
+	e.Resolutions++
+	for _, n := range e.Doc.NameLocs {
+		if n.ID == locID {
+			return n.Ref, nil
+		}
+	}
+	for _, tl := range e.Doc.TreeLocs {
+		if tl.ID == locID {
+			el, err := e.resolveTree(tl.Path)
+			if err != nil {
+				return "", err
+			}
+			if id := el.Attr("id"); id != "" {
+				return id, nil
+			}
+			return "", fmt.Errorf("hytime: treeloc %q addresses an element without id", locID)
+		}
+	}
+	// An event or entity id is its own address.
+	if _, ok := e.findEvent(locID); ok {
+		return locID, nil
+	}
+	if _, ok := e.Doc.Entity(locID); ok {
+		return locID, nil
+	}
+	return "", fmt.Errorf("hytime: unknown location %q", locID)
+}
+
+func (e *Engine) resolveTree(path []int) (*markup.Element, error) {
+	el := e.Doc.root
+	if el == nil {
+		return nil, fmt.Errorf("hytime: no document tree retained")
+	}
+	for _, step := range path {
+		if step < 1 || step > len(el.Kids) {
+			return nil, fmt.Errorf("hytime: tree path step %d out of range (element has %d children)", step, len(el.Kids))
+		}
+		el = el.Kids[step-1]
+	}
+	return el, nil
+}
+
+func (e *Engine) findEvent(id string) (*Event, bool) {
+	for _, f := range e.Doc.FCSs {
+		if ev, ok := f.Event(id); ok {
+			return ev, true
+		}
+	}
+	return nil, false
+}
+
+// EventsAt reports the events of an FCS whose extent on the axis covers
+// position t, in start order — "determining where things are on FCS
+// schedules".
+func (e *Engine) EventsAt(fcsID, axis string, t int64) ([]*Event, error) {
+	e.Resolutions++
+	f, ok := e.Doc.FCS(fcsID)
+	if !ok {
+		return nil, fmt.Errorf("hytime: unknown fcs %q", fcsID)
+	}
+	var out []*Event
+	for _, ev := range f.Events {
+		x, ok := ev.Extent(axis)
+		if !ok {
+			continue
+		}
+		if t >= x.Start && t < x.Start+x.Dur {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		xi, _ := out[i].Extent(axis)
+		xj, _ := out[j].Extent(axis)
+		if xi.Start != xj.Start {
+			return xi.Start < xj.Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// Span reports the FCS's total extent on the axis.
+func (e *Engine) Span(fcsID, axis string) (int64, error) {
+	e.Resolutions++
+	f, ok := e.Doc.FCS(fcsID)
+	if !ok {
+		return 0, fmt.Errorf("hytime: unknown fcs %q", fcsID)
+	}
+	var span int64
+	for _, ev := range f.Events {
+		if x, ok := ev.Extent(axis); ok {
+			if end := x.Start + x.Dur; end > span {
+				span = end
+			}
+		}
+	}
+	return span, nil
+}
+
+// Traverse resolves a link's endpoints to element ids (source first) —
+// the hyperlink traversal of §2.2.1.3, which in HyTime requires
+// resolving each endpoint's location chain at traversal time.
+func (e *Engine) Traverse(linkID string) ([]string, error) {
+	for _, l := range e.Doc.Links {
+		if l.ID != linkID {
+			continue
+		}
+		out := make([]string, 0, len(l.Endpoints))
+		for _, ep := range l.Endpoints {
+			id, err := e.ResolveLocation(ep)
+			if err != nil {
+				return nil, fmt.Errorf("hytime: link %q: %w", linkID, err)
+			}
+			out = append(out, id)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("hytime: unknown link %q", linkID)
+}
+
+// Rendered applies the FCS's rendition (if any) to an event's extent on
+// an axis, yielding presentation coordinates.
+func (e *Engine) Rendered(fcsID string, ev *Event, axis string) (Extent, error) {
+	e.Resolutions++
+	x, ok := ev.Extent(axis)
+	if !ok {
+		return Extent{}, fmt.Errorf("hytime: event %q has no extent on %q", ev.ID, axis)
+	}
+	for _, r := range e.Doc.Renditions {
+		if r.From == fcsID {
+			return r.Apply(x), nil
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,362 @@
+// Package hytime implements a working subset of HyTime (ISO/IEC 10744,
+// §2.2.1 of the paper): the hypermedia/time-based structuring language
+// the paper weighs against MHEG in §2.3 and ultimately uses as the
+// authoring-side counterpart ("a potential approach is to use MHEG as
+// the output format for hypermedia application taking HyTime as input",
+// §2.3 citing [MultiTorg, 95]).
+//
+// The subset covers the modules of Fig 2.1 that MITS-style courseware
+// needs:
+//
+//   - base module: the HyDoc document element and entity declarations;
+//   - measurement module: axes with units and granularity;
+//   - scheduling module: finite coordinate spaces (FCS) whose events
+//     place entities along axes with (start, duration) extents;
+//   - location address module: name-space addressing (nameloc) and
+//     coordinate/tree addressing (treeloc), §2.2.1.3;
+//   - hyperlinks module: independent links (ilink) over location
+//     endpoints;
+//   - rendition module: axis mappings from a generic FCS to a
+//     presentation FCS.
+//
+// Documents are SGML-flavoured markup with architectural-form
+// attributes (`hytime="event"` etc.), parsed with internal/markup. The
+// converter in convert.go maps a HyTime document onto the interactive
+// multimedia document model, from which the courseware compiler emits
+// MHEG — the full authoring pipeline of §2.3.
+package hytime
+
+import (
+	"fmt"
+	"strings"
+
+	"mits/internal/markup"
+)
+
+// Axis is one dimension of the measurement module: a named axis
+// measured in units with a granularity (units per second for temporal
+// axes; 0 marks a spatial/virtual axis).
+type Axis struct {
+	Name      string
+	Unit      string
+	PerSecond int // >0: temporal axis with this many units per second
+}
+
+// Temporal reports whether the axis measures time.
+func (a Axis) Temporal() bool { return a.PerSecond > 0 }
+
+// Entity is a declared external content object (the SGML entity that
+// HyTime addressing ultimately grounds in).
+type Entity struct {
+	ID       string
+	System   string // system identifier: the content reference
+	Notation string // data notation: MPEG, JPEG, WAV, text…
+	Text     string // inline text entities
+}
+
+// Extent places an event along one axis.
+type Extent struct {
+	Axis  string
+	Start int64
+	Dur   int64
+}
+
+// Event schedules one entity in a finite coordinate space.
+type Event struct {
+	ID      string
+	Entity  string // entity id presented by this event
+	Label   string
+	Extents []Extent
+}
+
+// Extent returns the event's extent on the named axis.
+func (e *Event) Extent(axis string) (Extent, bool) {
+	for _, x := range e.Extents {
+		if x.Axis == axis {
+			return x, true
+		}
+	}
+	return Extent{}, false
+}
+
+// FCS is a finite coordinate space of the scheduling module: a set of
+// axes with events placed on them.
+type FCS struct {
+	ID     string
+	Title  string
+	Axes   []string
+	Events []*Event
+}
+
+// Event finds an event by id.
+func (f *FCS) Event(id string) (*Event, bool) {
+	for _, e := range f.Events {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// NameLoc is a name-space address: "the most robust form of address in
+// that it can survive changes in the object being addressed"
+// (§2.2.1.3).
+type NameLoc struct {
+	ID  string
+	Ref string // id of the addressed element (event or entity)
+}
+
+// TreeLoc is a coordinate address into the document tree: "the first
+// child of the second child of the root" (§2.2.1.3). Path components
+// are 1-based child indexes from the document element.
+type TreeLoc struct {
+	ID   string
+	Path []int
+}
+
+// LinkRule describes when an ilink is traversed.
+type LinkRule string
+
+// Link traversal rules.
+const (
+	RuleUser   LinkRule = "user"   // traversed on user activation
+	RuleFinish LinkRule = "finish" // traversed when the source event ends
+)
+
+// ILink is an independent link between located endpoints.
+type ILink struct {
+	ID        string
+	Endpoints []string // location ids; first is the source
+	Rule      LinkRule
+}
+
+// AxisMap is one axis mapping of a rendition.
+type AxisMap struct {
+	Axis   string
+	Scale  float64
+	Offset int64
+}
+
+// Rendition maps events of one FCS onto another (generic layout →
+// presentation layout, §2.2.1.2's rendition module).
+type Rendition struct {
+	ID   string
+	From string
+	To   string
+	Maps []AxisMap
+}
+
+// Doc is a parsed HyTime document.
+type Doc struct {
+	ID         string
+	Title      string
+	Axes       []Axis
+	Entities   []Entity
+	FCSs       []*FCS
+	NameLocs   []NameLoc
+	TreeLocs   []TreeLoc
+	Links      []ILink
+	Renditions []Rendition
+
+	root *markup.Element // retained for tree-location resolution
+}
+
+// Axis finds an axis by name.
+func (d *Doc) Axis(name string) (Axis, bool) {
+	for _, a := range d.Axes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Axis{}, false
+}
+
+// Entity finds an entity by id.
+func (d *Doc) Entity(id string) (Entity, bool) {
+	for _, e := range d.Entities {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entity{}, false
+}
+
+// FCS finds a coordinate space by id.
+func (d *Doc) FCS(id string) (*FCS, bool) {
+	for _, f := range d.FCSs {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// TemporalAxis returns the document's (first) temporal axis name.
+func (d *Doc) TemporalAxis() (string, bool) {
+	for _, a := range d.Axes {
+		if a.Temporal() {
+			return a.Name, true
+		}
+	}
+	return "", false
+}
+
+// Validate checks referential integrity across the modules.
+func (d *Doc) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("hytime: document has no id")
+	}
+	axes := make(map[string]Axis, len(d.Axes))
+	for _, a := range d.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("hytime: axis with empty name")
+		}
+		if _, dup := axes[a.Name]; dup {
+			return fmt.Errorf("hytime: duplicate axis %q", a.Name)
+		}
+		axes[a.Name] = a
+	}
+	ids := make(map[string]string) // id → element kind
+	declare := func(id, kind string) error {
+		if id == "" {
+			return fmt.Errorf("hytime: %s with empty id", kind)
+		}
+		if prev, dup := ids[id]; dup {
+			return fmt.Errorf("hytime: id %q declared as both %s and %s", id, prev, kind)
+		}
+		ids[id] = kind
+		return nil
+	}
+	for _, e := range d.Entities {
+		if err := declare(e.ID, "entity"); err != nil {
+			return err
+		}
+		if e.System == "" && e.Text == "" {
+			return fmt.Errorf("hytime: entity %q has neither system identifier nor text", e.ID)
+		}
+	}
+	for _, f := range d.FCSs {
+		if err := declare(f.ID, "fcs"); err != nil {
+			return err
+		}
+		for _, ax := range f.Axes {
+			if _, ok := axes[ax]; !ok {
+				return fmt.Errorf("hytime: fcs %q uses undeclared axis %q", f.ID, ax)
+			}
+		}
+		fcsAxes := make(map[string]bool, len(f.Axes))
+		for _, ax := range f.Axes {
+			fcsAxes[ax] = true
+		}
+		for _, ev := range f.Events {
+			if err := declare(ev.ID, "event"); err != nil {
+				return err
+			}
+			if _, ok := d.Entity(ev.Entity); !ok {
+				return fmt.Errorf("hytime: event %q schedules undeclared entity %q", ev.ID, ev.Entity)
+			}
+			if len(ev.Extents) == 0 {
+				return fmt.Errorf("hytime: event %q has no extents", ev.ID)
+			}
+			for _, x := range ev.Extents {
+				if !fcsAxes[x.Axis] {
+					return fmt.Errorf("hytime: event %q extent on axis %q outside fcs %q", ev.ID, x.Axis, f.ID)
+				}
+				if x.Start < 0 || x.Dur < 0 {
+					return fmt.Errorf("hytime: event %q has negative extent on %q", ev.ID, x.Axis)
+				}
+			}
+		}
+	}
+	for _, n := range d.NameLocs {
+		if err := declare(n.ID, "nameloc"); err != nil {
+			return err
+		}
+		if _, ok := ids[n.Ref]; !ok {
+			return fmt.Errorf("hytime: nameloc %q addresses unknown id %q", n.ID, n.Ref)
+		}
+	}
+	for _, tl := range d.TreeLocs {
+		if err := declare(tl.ID, "treeloc"); err != nil {
+			return err
+		}
+		if len(tl.Path) == 0 {
+			return fmt.Errorf("hytime: treeloc %q has empty path", tl.ID)
+		}
+		for _, step := range tl.Path {
+			if step < 1 {
+				return fmt.Errorf("hytime: treeloc %q has non-positive step", tl.ID)
+			}
+		}
+	}
+	locKinds := map[string]bool{"nameloc": true, "treeloc": true}
+	for _, l := range d.Links {
+		if err := declare(l.ID, "ilink"); err != nil {
+			return err
+		}
+		if len(l.Endpoints) < 2 {
+			return fmt.Errorf("hytime: ilink %q needs ≥2 endpoints", l.ID)
+		}
+		for _, ep := range l.Endpoints {
+			kind, ok := ids[ep]
+			if !ok {
+				return fmt.Errorf("hytime: ilink %q endpoint %q unknown", l.ID, ep)
+			}
+			if !locKinds[kind] && kind != "event" {
+				return fmt.Errorf("hytime: ilink %q endpoint %q is a %s, want a location or event", l.ID, ep, kind)
+			}
+		}
+		switch l.Rule {
+		case RuleUser, RuleFinish:
+		default:
+			return fmt.Errorf("hytime: ilink %q has unknown traversal rule %q", l.ID, l.Rule)
+		}
+	}
+	for _, r := range d.Renditions {
+		if err := declare(r.ID, "rendition"); err != nil {
+			return err
+		}
+		if _, ok := d.FCS(r.From); !ok {
+			return fmt.Errorf("hytime: rendition %q maps from unknown fcs %q", r.ID, r.From)
+		}
+		for _, m := range r.Maps {
+			if _, ok := axes[m.Axis]; !ok {
+				return fmt.Errorf("hytime: rendition %q maps undeclared axis %q", r.ID, m.Axis)
+			}
+			if m.Scale == 0 {
+				return fmt.Errorf("hytime: rendition %q has zero scale on %q", r.ID, m.Axis)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply maps an extent through the rendition ("events in one FCS can be
+// mapped to another FCS", §2.2.1.2).
+func (r Rendition) Apply(x Extent) Extent {
+	for _, m := range r.Maps {
+		if m.Axis != x.Axis {
+			continue
+		}
+		return Extent{
+			Axis:  x.Axis,
+			Start: int64(float64(x.Start)*m.Scale) + m.Offset,
+			Dur:   int64(float64(x.Dur) * m.Scale),
+		}
+	}
+	return x
+}
+
+// kindOfNotation groups notations for the converter.
+func kindOfNotation(n string) string {
+	switch strings.ToUpper(n) {
+	case "MPEG", "AVI":
+		return "video"
+	case "WAV", "MIDI":
+		return "audio"
+	case "JPEG":
+		return "image"
+	default:
+		return "text"
+	}
+}

@@ -1,0 +1,186 @@
+package hytime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mits/internal/markup"
+)
+
+// Parse reads a HyTime document from SGML-flavoured markup.
+// Architectural forms are recognized by the `hytime` attribute, with
+// conventional element names accepted as defaults (an element named
+// `event` needs no explicit form attribute).
+func Parse(src []byte) (*Doc, error) {
+	root, err := markup.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("hytime: %w", err)
+	}
+	if form(root) != "hydoc" {
+		return nil, fmt.Errorf("hytime: document element <%s> is not a HyDoc", root.Name)
+	}
+	d := &Doc{
+		ID:    root.Attr("id"),
+		Title: root.Attr("title"),
+		root:  root,
+	}
+	var perr error
+	root.Walk(func(el *markup.Element) {
+		if perr != nil || el == root {
+			return
+		}
+		switch form(el) {
+		case "axis":
+			d.Axes = append(d.Axes, Axis{
+				Name:      el.Attr("id"),
+				Unit:      el.Attr("unit"),
+				PerSecond: int(el.AttrInt("persecond")),
+			})
+		case "entity":
+			d.Entities = append(d.Entities, Entity{
+				ID:       el.Attr("id"),
+				System:   el.Attr("system"),
+				Notation: el.Attr("notation"),
+				Text:     el.Text,
+			})
+		case "fcs":
+			f := &FCS{ID: el.Attr("id"), Title: el.Attr("title")}
+			if ax := el.Attr("axes"); ax != "" {
+				f.Axes = strings.Fields(ax)
+			}
+			for _, evEl := range el.Kids {
+				if form(evEl) != "event" {
+					continue
+				}
+				ev := &Event{
+					ID:     evEl.Attr("id"),
+					Entity: evEl.Attr("ref"),
+					Label:  evEl.Attr("label"),
+				}
+				for _, xEl := range evEl.Children("extent") {
+					ev.Extents = append(ev.Extents, Extent{
+						Axis:  xEl.Attr("axis"),
+						Start: xEl.AttrInt("start"),
+						Dur:   xEl.AttrInt("dur"),
+					})
+				}
+				f.Events = append(f.Events, ev)
+			}
+			d.FCSs = append(d.FCSs, f)
+		case "nameloc":
+			d.NameLocs = append(d.NameLocs, NameLoc{ID: el.Attr("id"), Ref: el.Attr("ref")})
+		case "treeloc":
+			tl := TreeLoc{ID: el.Attr("id")}
+			for _, part := range strings.Fields(el.Attr("path")) {
+				n, err := strconv.Atoi(part)
+				if err != nil {
+					perr = fmt.Errorf("hytime: treeloc %q has bad path step %q", tl.ID, part)
+					return
+				}
+				tl.Path = append(tl.Path, n)
+			}
+			d.TreeLocs = append(d.TreeLocs, tl)
+		case "ilink":
+			rule := LinkRule(el.Attr("rule"))
+			if rule == "" {
+				rule = RuleUser
+			}
+			d.Links = append(d.Links, ILink{
+				ID:        el.Attr("id"),
+				Endpoints: strings.Fields(el.Attr("endpoints")),
+				Rule:      rule,
+			})
+		case "rendition":
+			r := Rendition{ID: el.Attr("id"), From: el.Attr("from"), To: el.Attr("to")}
+			for _, mEl := range el.Children("map") {
+				scale := 1.0
+				if s := mEl.Attr("scale"); s != "" {
+					v, err := strconv.ParseFloat(s, 64)
+					if err != nil {
+						perr = fmt.Errorf("hytime: rendition %q has bad scale %q", r.ID, s)
+						return
+					}
+					scale = v
+				}
+				r.Maps = append(r.Maps, AxisMap{
+					Axis:   mEl.Attr("axis"),
+					Scale:  scale,
+					Offset: mEl.AttrInt("offset"),
+				})
+			}
+			d.Renditions = append(d.Renditions, r)
+		}
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// form reports an element's architectural form: the explicit `hytime`
+// attribute, or the element name when it matches a known form.
+func form(el *markup.Element) string {
+	if f := el.Attr("hytime"); f != "" {
+		return strings.ToLower(f)
+	}
+	switch el.Name {
+	case "hydoc", "axis", "entity", "fcs", "event", "nameloc", "treeloc", "ilink", "rendition":
+		return el.Name
+	}
+	return ""
+}
+
+// Markup serializes the document back to its interchange form (used by
+// authoring tools and the E21 experiment to measure document sizes).
+func (d *Doc) Markup() []byte {
+	root := markup.New("hydoc").Set("id", d.ID).Set("title", d.Title)
+	axes := markup.New("axes")
+	for _, a := range d.Axes {
+		axes.Add(markup.New("axis").Set("id", a.Name).Set("unit", a.Unit).SetInt("persecond", int64(a.PerSecond)))
+	}
+	root.Add(axes)
+	for _, e := range d.Entities {
+		el := markup.New("entity").Set("id", e.ID).Set("system", e.System).Set("notation", e.Notation)
+		el.Text = e.Text
+		root.Add(el)
+	}
+	for _, f := range d.FCSs {
+		fEl := markup.New("fcs").Set("id", f.ID).Set("title", f.Title).Set("axes", strings.Join(f.Axes, " "))
+		for _, ev := range f.Events {
+			evEl := markup.New("event").Set("id", ev.ID).Set("ref", ev.Entity).Set("label", ev.Label)
+			for _, x := range ev.Extents {
+				evEl.Add(markup.New("extent").Set("axis", x.Axis).SetInt("start", x.Start).SetInt("dur", x.Dur))
+			}
+			fEl.Add(evEl)
+		}
+		root.Add(fEl)
+	}
+	for _, n := range d.NameLocs {
+		root.Add(markup.New("nameloc").Set("id", n.ID).Set("ref", n.Ref))
+	}
+	for _, tl := range d.TreeLocs {
+		parts := make([]string, len(tl.Path))
+		for i, p := range tl.Path {
+			parts[i] = strconv.Itoa(p)
+		}
+		root.Add(markup.New("treeloc").Set("id", tl.ID).Set("path", strings.Join(parts, " ")))
+	}
+	for _, l := range d.Links {
+		root.Add(markup.New("ilink").Set("id", l.ID).
+			Set("endpoints", strings.Join(l.Endpoints, " ")).Set("rule", string(l.Rule)))
+	}
+	for _, r := range d.Renditions {
+		rEl := markup.New("rendition").Set("id", r.ID).Set("from", r.From).Set("to", r.To)
+		for _, m := range r.Maps {
+			mEl := markup.New("map").Set("axis", m.Axis).SetInt("offset", m.Offset)
+			mEl.Set("scale", strconv.FormatFloat(m.Scale, 'g', -1, 64))
+			rEl.Add(mEl)
+		}
+		root.Add(rEl)
+	}
+	return []byte(root.String())
+}

@@ -1,0 +1,278 @@
+// Package markup is a minimal SGML-flavoured element syntax shared by
+// the MHEG textual codec and the HyTime module: nested elements with
+// quoted attributes and text content, escaped with the four standard
+// entities. It is deliberately small — enough structure to express the
+// documents this system interchanges, not a general SGML system.
+package markup
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is one node of a parsed document.
+type Element struct {
+	Name  string
+	Attrs map[string]string
+	Kids  []*Element
+	Text  string
+}
+
+// New creates an element with an empty attribute map.
+func New(name string) *Element {
+	return &Element{Name: name, Attrs: make(map[string]string)}
+}
+
+// Set assigns an attribute, dropping empty values.
+func (e *Element) Set(k, v string) *Element {
+	if v != "" {
+		e.Attrs[k] = v
+	}
+	return e
+}
+
+// SetInt assigns an integer attribute, dropping zeros.
+func (e *Element) SetInt(k string, v int64) *Element {
+	if v != 0 {
+		e.Attrs[k] = fmt.Sprintf("%d", v)
+	}
+	return e
+}
+
+// Attr reads an attribute ("" when absent).
+func (e *Element) Attr(k string) string { return e.Attrs[k] }
+
+// AttrInt reads an integer attribute (0 when absent or malformed).
+func (e *Element) AttrInt(k string) int64 {
+	var n int64
+	var neg bool
+	s := e.Attrs[k]
+	for i := 0; i < len(s); i++ {
+		if i == 0 && s[i] == '-' {
+			neg = true
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			return 0
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// Add appends a child element.
+func (e *Element) Add(kid *Element) *Element {
+	e.Kids = append(e.Kids, kid)
+	return e
+}
+
+// Children returns the direct children with the given name.
+func (e *Element) Children(name string) []*Element {
+	var out []*Element
+	for _, k := range e.Kids {
+		if k.Name == name {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// First returns the first direct child with the given name, or nil.
+func (e *Element) First(name string) *Element {
+	for _, k := range e.Kids {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// Walk visits the element and every descendant depth-first.
+func (e *Element) Walk(fn func(*Element)) {
+	fn(e)
+	for _, k := range e.Kids {
+		k.Walk(fn)
+	}
+}
+
+var escaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+var unescaper = strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`)
+
+// String renders the element tree.
+func (e *Element) String() string {
+	var b strings.Builder
+	e.write(&b, 0)
+	return b.String()
+}
+
+func (e *Element) write(b *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, ` %s="%s"`, k, escaper.Replace(e.Attrs[k]))
+	}
+	if len(e.Kids) == 0 && e.Text == "" {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteByte('>')
+	if e.Text != "" {
+		b.WriteString(escaper.Replace(e.Text))
+	}
+	if len(e.Kids) > 0 {
+		b.WriteByte('\n')
+		for _, k := range e.Kids {
+			k.write(b, indent+1)
+		}
+		b.WriteString(pad)
+	}
+	fmt.Fprintf(b, "</%s>\n", e.Name)
+}
+
+// Parse reads exactly one element (plus surrounding whitespace) from
+// src.
+func Parse(src []byte) (*Element, error) {
+	p := &parser{src: string(src)}
+	el, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing text after document element")
+	}
+	return el, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("markup: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.'
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseElement() (*Element, error) {
+	p.skipSpace()
+	// Skip comments and processing instructions/doctype lines.
+	for p.pos+1 < len(p.src) && p.src[p.pos] == '<' && (p.src[p.pos+1] == '!' || p.src[p.pos+1] == '?') {
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return nil, p.errf("unterminated declaration")
+		}
+		p.pos += end + 1
+		p.skipSpace()
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	el := New(name)
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated tag <%s", name)
+		}
+		if strings.HasPrefix(p.src[p.pos:], "/>") {
+			p.pos += 2
+			return el, nil
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		key, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+			return nil, p.errf("expected '=' after attribute %s", key)
+		}
+		p.pos++
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return nil, p.errf("expected '\"' in attribute %s", key)
+		}
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '"')
+		if end < 0 {
+			return nil, p.errf("unterminated attribute %s", key)
+		}
+		el.Attrs[key] = unescaper.Replace(p.src[p.pos : p.pos+end])
+		p.pos += end + 1
+	}
+	var text strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			endName, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			if endName != name {
+				return nil, p.errf("mismatched </%s> for <%s>", endName, name)
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+				return nil, p.errf("expected '>' in closing tag")
+			}
+			p.pos++
+			el.Text = strings.TrimSpace(unescaper.Replace(text.String()))
+			return el, nil
+		}
+		if p.src[p.pos] == '<' && !strings.HasPrefix(p.src[p.pos:], "<!") {
+			kid, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			el.Add(kid)
+			continue
+		}
+		text.WriteByte(p.src[p.pos])
+		p.pos++
+	}
+}

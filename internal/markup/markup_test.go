@@ -1,0 +1,107 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	root := New("doc").Set("id", "d1").SetInt("ver", 3)
+	kid := New("section").Set("title", `tricky <>&" title`)
+	kid.Text = "body text & more"
+	root.Add(kid)
+	root.Add(New("empty"))
+
+	parsed, err := Parse([]byte(root.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Attr("id") != "d1" || parsed.AttrInt("ver") != 3 {
+		t.Errorf("root attrs %v", parsed.Attrs)
+	}
+	sec := parsed.First("section")
+	if sec == nil || sec.Attr("title") != `tricky <>&" title` || sec.Text != "body text & more" {
+		t.Errorf("section %+v", sec)
+	}
+	if parsed.First("empty") == nil {
+		t.Error("empty element lost")
+	}
+	if parsed.First("ghost") != nil {
+		t.Error("phantom element")
+	}
+	if len(parsed.Children("section")) != 1 {
+		t.Error("Children")
+	}
+}
+
+func TestParseSkipsDeclarations(t *testing.T) {
+	src := `<!DOCTYPE hydoc SYSTEM "hytime.dtd">
+<!-- a comment -->
+<hydoc id="x"><body/></hydoc>`
+	el, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Name != "hydoc" || el.First("body") == nil {
+		t.Errorf("parsed %v", el.Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "plain text", "<unclosed", "<a><b></a></b>", `<a x=nope/>`,
+		`<a x="unterminated/>`, "<a></a><b></b>", "<a></b>",
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("parsed %q", src)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	root := New("a")
+	root.Add(New("b").Add(New("c")))
+	root.Add(New("d"))
+	var names []string
+	root.Walk(func(e *Element) { names = append(names, e.Name) })
+	if strings.Join(names, "") != "abcd" {
+		t.Errorf("walk order %v", names)
+	}
+}
+
+func TestAttrInt(t *testing.T) {
+	e := New("x").Set("n", "-42").Set("bad", "4x2")
+	if e.AttrInt("n") != -42 || e.AttrInt("bad") != 0 || e.AttrInt("missing") != 0 {
+		t.Error("AttrInt")
+	}
+}
+
+func TestFuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttributeRoundTripProperty(t *testing.T) {
+	f := func(val string) bool {
+		if strings.ContainsAny(val, "\x00") {
+			return true
+		}
+		e := New("x")
+		e.Attrs["v"] = val // bypass Set's empty-drop
+		parsed, err := Parse([]byte(e.String()))
+		if err != nil {
+			return false
+		}
+		return parsed.Attr("v") == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

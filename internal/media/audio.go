@@ -1,0 +1,102 @@
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// WAV defaults matching the thesis's storage figures (§5.2.2): "about
+// 1 second of sound in 11KB of disk space, or one minute of sound in
+// 1MB" — 11.025 kHz, 8-bit... the per-minute figure implies ≈17 KB/s,
+// i.e. 16-bit mono at 8.82 kHz or 8-bit at 17 kHz. We keep the thesis's
+// 11 kHz sample rate with 50% container/index overhead so one minute
+// lands close to 1 MB as Table 5.1 reports (the two thesis figures are
+// mutually inconsistent; we match the per-minute one).
+const (
+	DefaultWAVRate     = 11025 // Hz
+	wavBytesPerSample  = 1
+	wavOverheadPercent = 50 // container + index overhead to hit ~1MB/min
+)
+
+// EncodeWAV synthesizes a waveform-audio object of the given duration.
+// The payload is a deterministic 440 Hz-ish tone; its size tracks the
+// real format: sampleRate × bytes/sample × channels × seconds.
+func EncodeWAV(d time.Duration, sampleRate, channels int) []byte {
+	if sampleRate <= 0 {
+		sampleRate = DefaultWAVRate
+	}
+	if channels <= 0 {
+		channels = 1
+	}
+	samples := int(float64(sampleRate) * d.Seconds())
+	n := samples * wavBytesPerSample * channels
+	n += n * wavOverheadPercent / 100
+	m := Meta{Duration: d, SampleRate: sampleRate, Channels: channels,
+		BitRate: sampleRate * wavBytesPerSample * 8 * channels}
+	buf := encodeHeader(CodingWAV, m, n)
+	for i := 0; i < n; i++ {
+		// A cheap periodic waveform; content is never inspected.
+		buf = append(buf, byte(128+100*math.Sin(float64(i)*2*math.Pi*440/float64(sampleRate))))
+	}
+	return buf
+}
+
+// MIDI cost per minute (§5.2.2): "about 5KB of disk space ... about
+// one-twentieth space that of the WAV file".
+const midiBytesPerMinute = 5 * 1024
+
+// midiEvent is one note event: delta-time (ms, uint16), status, note,
+// velocity — 5 bytes.
+const midiEventSize = 5
+
+// EncodeMIDI synthesizes a MIDI object of the given duration with the
+// thesis's storage density (≈5 KB per minute of music).
+func EncodeMIDI(d time.Duration) []byte {
+	events := int(d.Minutes() * midiBytesPerMinute / midiEventSize)
+	if events < 1 && d > 0 {
+		events = 1
+	}
+	m := Meta{Duration: d, BitRate: midiBytesPerMinute * 8 / 60}
+	buf := encodeHeader(CodingMIDI, m, events*midiEventSize)
+	var ev [midiEventSize]byte
+	for i := 0; i < events; i++ {
+		binary.BigEndian.PutUint16(ev[:], uint16(60000/max(events, 1)))
+		ev[2] = 0x90                 // note on, channel 0
+		ev[3] = byte(60 + (i*7)%24)  // walk a scale deterministically
+		ev[4] = byte(64 + (i*13)%63) // velocity
+		buf = append(buf, ev[:]...)
+	}
+	return buf
+}
+
+// MIDIEvents parses the event count from an encoded MIDI object.
+func MIDIEvents(data []byte) (int, error) {
+	if _, err := Decode(CodingMIDI, data); err != nil {
+		return 0, err
+	}
+	n := len(data) - headerSize
+	if n%midiEventSize != 0 {
+		return 0, fmt.Errorf("MIDI payload %d not a whole number of events", n)
+	}
+	return n / midiEventSize, nil
+}
+
+// NewAudio builds a complete audio Object.
+func NewAudio(id, name string, coding Coding, d time.Duration, keywords ...string) (*Object, error) {
+	var data []byte
+	switch coding {
+	case CodingWAV:
+		data = EncodeWAV(d, DefaultWAVRate, 1)
+	case CodingMIDI:
+		data = EncodeMIDI(d)
+	default:
+		return nil, fmt.Errorf("media: %q is not an audio coding", coding)
+	}
+	meta, err := Decode(coding, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{ID: id, Name: name, Coding: coding, Meta: meta, Keywords: keywords, Data: data}, nil
+}

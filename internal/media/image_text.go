@@ -1,0 +1,113 @@
+package media
+
+import (
+	"fmt"
+	"strings"
+
+	"mits/internal/sim"
+)
+
+// jpegBitsPerPixel approximates JPEG compression at typical quality:
+// ~1.2 bits per pixel for photographic content.
+const jpegBitsPerPixel = 1.2
+
+// EncodeJPEG synthesizes a still image of the given dimensions. Size
+// scales with pixel count at a realistic compression ratio.
+func EncodeJPEG(width, height int, seed uint64) []byte {
+	if width <= 0 || height <= 0 {
+		width, height = 640, 480
+	}
+	n := int(float64(width*height) * jpegBitsPerPixel / 8)
+	m := Meta{Width: width, Height: height}
+	buf := encodeHeader(CodingJPEG, m, n)
+	rng := sim.NewRNG(seed + 2)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(rng.Uint64()))
+	}
+	return buf
+}
+
+// NewImage builds a complete image Object.
+func NewImage(id, name string, width, height int, keywords ...string) (*Object, error) {
+	data := EncodeJPEG(width, height, hashID(id))
+	meta, err := Decode(CodingJPEG, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{ID: id, Name: name, Coding: CodingJPEG, Meta: meta, Keywords: keywords, Data: data}, nil
+}
+
+// EncodeText wraps plain text in the synthetic container.
+func EncodeText(text string) []byte {
+	buf := encodeHeader(CodingASCII, Meta{}, len(text))
+	return append(buf, text...)
+}
+
+// EncodeHTML wraps an HTML document in the synthetic container.
+func EncodeHTML(doc string) []byte {
+	buf := encodeHeader(CodingHTML, Meta{}, len(doc))
+	return append(buf, doc...)
+}
+
+// TextContent extracts the text from an encoded ASCII or HTML object.
+func TextContent(c Coding, data []byte) (string, error) {
+	if c != CodingASCII && c != CodingHTML {
+		return "", fmt.Errorf("media: %q is not a text coding", c)
+	}
+	if _, err := Decode(c, data); err != nil {
+		return "", err
+	}
+	return string(data[headerSize:]), nil
+}
+
+// NewText builds a plain-text Object.
+func NewText(id, name, text string, keywords ...string) (*Object, error) {
+	data := EncodeText(text)
+	return &Object{ID: id, Name: name, Coding: CodingASCII, Keywords: keywords, Data: data}, nil
+}
+
+// NewHTML builds an HTML document Object, synthesizing a simple page
+// around the body when it is not already markup.
+func NewHTML(id, title, body string, keywords ...string) (*Object, error) {
+	doc := body
+	if !strings.Contains(body, "<html>") {
+		doc = fmt.Sprintf("<html><head><title>%s</title></head><body>%s</body></html>", title, body)
+	}
+	data := EncodeHTML(doc)
+	return &Object{ID: id, Name: title, Coding: CodingHTML, Keywords: keywords, Data: data}, nil
+}
+
+// GenerateLecture produces deterministic lecture-note text of roughly
+// the requested length, for workload generation.
+func GenerateLecture(topic string, approxLen int, seed uint64) string {
+	words := []string{
+		"the", "network", "cell", "switch", "bandwidth", "multimedia",
+		"course", "student", "object", "class", "synchronization",
+		"presentation", "interactive", "broadband", "protocol", "layer",
+		"virtual", "channel", "quality", "service", "learning", "system",
+	}
+	rng := sim.NewRNG(seed + 3)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lecture notes: %s.\n\n", topic)
+	for b.Len() < approxLen {
+		n := 8 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(words[rng.Intn(len(words))])
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// hashID derives a deterministic seed from an object id (FNV-1a).
+func hashID(id string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,71 @@
+package mediastore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotFile is the on-disk image of a store — MEDIAFILE's role of
+// real-time physical storage is played by a single gob image, which is
+// all the command-line tools need to hand a database between the
+// producer, the author and the server.
+type snapshotFile struct {
+	Docs    []*DocRecord
+	Content []*ContentRecord
+}
+
+// Save writes the store to path, creating parent directories.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshotFile{}
+	for _, d := range s.docs {
+		snap.Docs = append(snap.Docs, d)
+	}
+	for _, c := range s.content {
+		snap.Content = append(snap.Content, c)
+	}
+	s.mu.RUnlock()
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("mediastore: save: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("mediastore: save: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("mediastore: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("mediastore: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a store image written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mediastore: load: %w", err)
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mediastore: load %s: %w", path, err)
+	}
+	s := New()
+	for _, d := range snap.Docs {
+		s.docs[d.Name] = d
+		s.keywords.add(d.Name, d.Keywords)
+	}
+	for _, c := range snap.Content {
+		s.content[c.Ref] = c
+	}
+	return s, nil
+}

@@ -1,0 +1,231 @@
+// Package mediastore implements the courseware database of §3.4.2 and
+// the MEDIASTORE/MEDIAFILE components of the MEDIABASE platform
+// (§5.1.1): an object store holding interchanged courseware (MHEG
+// containers) and a separate content database holding the mono-media
+// data that courseware objects reference.
+//
+// Storing content separately from scenario is a deliberate design
+// choice of the paper — "reusability of the content objects is achieved
+// among different applications ... while content objects of large size
+// are transmitted only at the time they are requested" — and is what
+// the E18 experiment quantifies.
+package mediastore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a document or content object is absent.
+var ErrNotFound = errors.New("mediastore: not found")
+
+// DocRecord is one stored courseware document: a form (a) MHEG
+// container plus catalogue metadata.
+type DocRecord struct {
+	Name     string
+	Title    string
+	Encoding string // interchange encoding of Data ("asn1" or "sgml")
+	Keywords []string
+	Version  int
+	Data     []byte
+}
+
+// ContentRecord is one entry of the content database.
+type ContentRecord struct {
+	Ref      string // the reference courseware objects carry
+	Coding   string
+	Keywords []string
+	Data     []byte
+}
+
+// Store is the courseware database. It is safe for concurrent use: the
+// content server of Fig 3.5 serves many navigator clients at once.
+type Store struct {
+	mu       sync.RWMutex
+	docs     map[string]*DocRecord
+	content  map[string]*ContentRecord
+	keywords *KeywordTree
+
+	// Stats for the experiments.
+	docReads     int64
+	contentReads int64
+	bytesOut     int64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		docs:     make(map[string]*DocRecord),
+		content:  make(map[string]*ContentRecord),
+		keywords: NewKeywordTree(),
+	}
+}
+
+// PutDocument stores or updates a courseware document, bumping its
+// version ("it can be updated in both the content and the scenario at
+// anytime", §3.2).
+func (s *Store) PutDocument(name, title, encoding string, data []byte, keywords ...string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("mediastore: document with empty name")
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("mediastore: document %q with no data", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.docs[name]
+	if !ok {
+		rec = &DocRecord{Name: name}
+		s.docs[name] = rec
+	} else {
+		s.keywords.remove(name, rec.Keywords)
+	}
+	rec.Title = title
+	rec.Encoding = encoding
+	rec.Keywords = append([]string(nil), keywords...)
+	rec.Data = append([]byte(nil), data...)
+	rec.Version++
+	s.keywords.add(name, keywords)
+	return rec.Version, nil
+}
+
+// GetDocument retrieves a document by name (the Get_Selected_Doc API of
+// §5.3.2).
+func (s *Store) GetDocument(name string) (*DocRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: document %q", ErrNotFound, name)
+	}
+	s.docReads++
+	s.bytesOut += int64(len(rec.Data))
+	cp := *rec
+	cp.Data = append([]byte(nil), rec.Data...)
+	cp.Keywords = append([]string(nil), rec.Keywords...)
+	return &cp, nil
+}
+
+// ListDocuments returns the stored document names, sorted (the
+// Get_List_Doc API of §5.3.2).
+func (s *Store) ListDocuments() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeleteDocument removes a document.
+func (s *Store) DeleteDocument(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: document %q", ErrNotFound, name)
+	}
+	s.keywords.remove(name, rec.Keywords)
+	delete(s.docs, name)
+	return nil
+}
+
+// DocsByKeyword returns names of documents carrying the keyword (the
+// GetDocByKeyword API of §5.5). Keyword paths match by prefix:
+// "network" finds documents tagged "network/atm".
+func (s *Store) DocsByKeyword(keyword string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.keywords.Find(keyword)
+}
+
+// Keywords returns a snapshot of the keyword tree (the GetKeywordTree
+// API of §5.5).
+func (s *Store) Keywords() *KeywordNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.keywords.Snapshot()
+}
+
+// PutContent stores a mono-media object in the content database under
+// the given reference.
+func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) error {
+	if ref == "" {
+		return fmt.Errorf("mediastore: content with empty reference")
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("mediastore: content %q with no data", ref)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.content[ref] = &ContentRecord{
+		Ref:      ref,
+		Coding:   coding,
+		Keywords: append([]string(nil), keywords...),
+		Data:     append([]byte(nil), data...),
+	}
+	return nil
+}
+
+// GetContent retrieves content data by reference.
+func (s *Store) GetContent(ref string) (*ContentRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.content[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: content %q", ErrNotFound, ref)
+	}
+	s.contentReads++
+	s.bytesOut += int64(len(rec.Data))
+	cp := *rec
+	cp.Data = append([]byte(nil), rec.Data...)
+	return &cp, nil
+}
+
+// HasContent reports whether every given reference resolves, returning
+// the missing ones — used to validate a courseware's media refs before
+// publication.
+func (s *Store) HasContent(refs ...string) (missing []string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range refs {
+		if _, ok := s.content[r]; !ok {
+			missing = append(missing, r)
+		}
+	}
+	return missing
+}
+
+// ListContent returns stored content references, optionally filtered by
+// a prefix ("store/atm/").
+func (s *Store) ListContent(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := make([]string, 0, len(s.content))
+	for r := range s.content {
+		if strings.HasPrefix(r, prefix) {
+			refs = append(refs, r)
+		}
+	}
+	sort.Strings(refs)
+	return refs
+}
+
+// Stats reports served volume for the experiments.
+func (s *Store) Stats() (docReads, contentReads, bytesOut int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docReads, s.contentReads, s.bytesOut
+}
+
+// Sizes reports how many documents and content objects are stored.
+func (s *Store) Sizes() (docs, contents int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs), len(s.content)
+}

@@ -1,0 +1,307 @@
+package mediastore
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDocumentCRUD(t *testing.T) {
+	s := New()
+	v, err := s.PutDocument("atm-course", "ATM Technology", "asn1", []byte("data-v1"), "network/atm")
+	if err != nil || v != 1 {
+		t.Fatalf("Put: v=%d err=%v", v, err)
+	}
+	rec, err := s.GetDocument("atm-course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Title != "ATM Technology" || string(rec.Data) != "data-v1" || rec.Version != 1 {
+		t.Errorf("record %+v", rec)
+	}
+	// Update bumps version.
+	v, _ = s.PutDocument("atm-course", "ATM Technology v2", "asn1", []byte("data-v2"), "network/atm", "broadband")
+	if v != 2 {
+		t.Errorf("update version %d, want 2", v)
+	}
+	rec, _ = s.GetDocument("atm-course")
+	if string(rec.Data) != "data-v2" {
+		t.Error("update did not replace data")
+	}
+	// Returned record is a copy, not an alias.
+	rec.Data[0] = 'X'
+	again, _ := s.GetDocument("atm-course")
+	if string(again.Data) != "data-v2" {
+		t.Error("GetDocument aliases internal state")
+	}
+	// List and delete.
+	s.PutDocument("ip-course", "IP", "asn1", []byte("x"), "network/ip")
+	if got := s.ListDocuments(); !reflect.DeepEqual(got, []string{"atm-course", "ip-course"}) {
+		t.Errorf("list %v", got)
+	}
+	if err := s.DeleteDocument("ip-course"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteDocument("ip-course"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err=%v", err)
+	}
+	if _, err := s.GetDocument("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing doc err=%v", err)
+	}
+}
+
+func TestDocumentValidation(t *testing.T) {
+	s := New()
+	if _, err := s.PutDocument("", "t", "asn1", []byte("x")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.PutDocument("n", "t", "asn1", nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if err := s.PutContent("", "WAV", []byte("x")); err == nil {
+		t.Error("empty content ref accepted")
+	}
+	if err := s.PutContent("r", "WAV", nil); err == nil {
+		t.Error("empty content data accepted")
+	}
+}
+
+func TestContentDatabase(t *testing.T) {
+	s := New()
+	if err := s.PutContent("store/atm/welcome.mpg", "MPEG", []byte("videodata")); err != nil {
+		t.Fatal(err)
+	}
+	s.PutContent("store/atm/cells.wav", "WAV", []byte("audiodata"))
+	s.PutContent("store/net/lan.jpg", "JPEG", []byte("img"))
+
+	rec, err := s.GetContent("store/atm/welcome.mpg")
+	if err != nil || rec.Coding != "MPEG" || string(rec.Data) != "videodata" {
+		t.Fatalf("content %+v err=%v", rec, err)
+	}
+	if _, err := s.GetContent("store/zzz"); !errors.Is(err, ErrNotFound) {
+		t.Error("missing content found")
+	}
+	if got := s.ListContent("store/atm/"); len(got) != 2 {
+		t.Errorf("ListContent(atm)=%v", got)
+	}
+	if got := s.ListContent(""); len(got) != 3 {
+		t.Errorf("ListContent()=%v", got)
+	}
+	missing := s.HasContent("store/atm/cells.wav", "store/zzz", "store/yyy")
+	if !reflect.DeepEqual(missing, []string{"store/zzz", "store/yyy"}) {
+		t.Errorf("missing=%v", missing)
+	}
+	docs, contents := s.Sizes()
+	if docs != 0 || contents != 3 {
+		t.Errorf("sizes %d/%d", docs, contents)
+	}
+}
+
+func TestKeywordQueries(t *testing.T) {
+	s := New()
+	s.PutDocument("atm", "t", "asn1", []byte("x"), "network/atm/cells", "broadband")
+	s.PutDocument("ip", "t", "asn1", []byte("x"), "network/ip")
+	s.PutDocument("art", "t", "asn1", []byte("x"), "humanities/art")
+
+	if got := s.DocsByKeyword("network"); !reflect.DeepEqual(got, []string{"atm", "ip"}) {
+		t.Errorf("network → %v", got)
+	}
+	if got := s.DocsByKeyword("network/atm"); !reflect.DeepEqual(got, []string{"atm"}) {
+		t.Errorf("network/atm → %v", got)
+	}
+	if got := s.DocsByKeyword("BROADBAND"); !reflect.DeepEqual(got, []string{"atm"}) {
+		t.Errorf("case-insensitive lookup → %v", got)
+	}
+	if got := s.DocsByKeyword("zzz"); got != nil {
+		t.Errorf("unknown keyword → %v", got)
+	}
+
+	// Updating a document's keywords re-indexes it.
+	s.PutDocument("atm", "t", "asn1", []byte("x"), "legacy")
+	if got := s.DocsByKeyword("network"); !reflect.DeepEqual(got, []string{"ip"}) {
+		t.Errorf("after re-keyword: network → %v", got)
+	}
+	if got := s.DocsByKeyword("legacy"); !reflect.DeepEqual(got, []string{"atm"}) {
+		t.Errorf("legacy → %v", got)
+	}
+
+	// Deleting removes from the index and prunes branches.
+	s.DeleteDocument("art")
+	if got := s.DocsByKeyword("humanities"); got != nil {
+		t.Errorf("deleted doc still indexed: %v", got)
+	}
+	tree := s.Keywords()
+	for _, c := range tree.Children {
+		if c.Name == "humanities" {
+			t.Error("empty branch not pruned")
+		}
+	}
+}
+
+func TestKeywordTreeSnapshot(t *testing.T) {
+	s := New()
+	s.PutDocument("atm", "t", "asn1", []byte("x"), "network/atm", "network/broadband")
+	s.PutDocument("ip", "t", "asn1", []byte("x"), "network/ip")
+	tree := s.Keywords()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "network" {
+		t.Fatalf("tree root children %+v", tree.Children)
+	}
+	net := tree.Children[0]
+	var names []string
+	for _, c := range net.Children {
+		names = append(names, c.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"atm", "broadband", "ip"}) {
+		t.Errorf("children %v (must be sorted)", names)
+	}
+	var paths []string
+	tree.Walk(func(path string, n *KeywordNode) { paths = append(paths, path) })
+	want := []string{"", "network", "network/atm", "network/broadband", "network/ip"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("walk paths %v, want %v", paths, want)
+	}
+}
+
+// Property: any sequence of puts followed by keyword lookups finds
+// exactly the documents whose keyword set includes a matching prefix.
+func TestKeywordIndexProperty(t *testing.T) {
+	words := []string{"a", "b", "c", "a/x", "a/y", "b/x"}
+	f := func(assign []uint8) bool {
+		s := New()
+		docKw := make(map[string]string)
+		for i, a := range assign {
+			if i >= 20 {
+				break
+			}
+			name := string(rune('d'+i%20)) + "-doc" + string(rune('0'+i%10))
+			kw := words[int(a)%len(words)]
+			docKw[name] = kw
+			s.PutDocument(name, "t", "asn1", []byte("x"), kw)
+		}
+		for _, query := range words {
+			got := s.DocsByKeyword(query)
+			gotSet := make(map[string]bool, len(got))
+			for _, g := range got {
+				gotSet[g] = true
+			}
+			for name, kw := range docKw {
+				matches := kw == query || len(kw) > len(query) && kw[:len(query)+1] == query+"/"
+				if matches != gotSet[name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	s.PutContent("store/x", "WAV", []byte("x"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				switch j % 4 {
+				case 0:
+					s.PutDocument("doc", "t", "asn1", []byte("x"), "kw")
+				case 1:
+					s.GetContent("store/x")
+				case 2:
+					s.DocsByKeyword("kw")
+				case 3:
+					s.ListDocuments()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, reads, bytes := s.Stats(); reads == 0 || bytes == 0 {
+		t.Error("stats not accumulating")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db", "mits.db")
+	s := New()
+	s.PutDocument("atm", "ATM", "asn1", []byte("docdata"), "network/atm")
+	s.PutContent("store/v.mpg", "MPEG", []byte("vid"), "video")
+
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := loaded.GetDocument("atm")
+	if err != nil || string(rec.Data) != "docdata" || rec.Version != 1 {
+		t.Errorf("loaded doc %+v err=%v", rec, err)
+	}
+	if got := loaded.DocsByKeyword("network"); len(got) != 1 {
+		t.Error("keyword index not rebuilt on load")
+	}
+	c, err := loaded.GetContent("store/v.mpg")
+	if err != nil || string(c.Data) != "vid" {
+		t.Errorf("loaded content %+v err=%v", c, err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.db")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+// Property: save/load preserves every stored document and content blob.
+func TestSaveLoadProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(docs map[string][]byte) bool {
+		s := New()
+		expect := make(map[string][]byte)
+		for name, data := range docs {
+			if name == "" || len(data) == 0 {
+				continue
+			}
+			if _, err := s.PutDocument(name, "t", "asn1", data, "kw/"+name); err != nil {
+				return false
+			}
+			if err := s.PutContent("c/"+name, "RAW", data); err != nil {
+				return false
+			}
+			expect[name] = data
+		}
+		path := filepath.Join(dir, "prop.db")
+		if err := s.Save(path); err != nil {
+			return false
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			return false
+		}
+		for name, data := range expect {
+			rec, err := loaded.GetDocument(name)
+			if err != nil || !bytes.Equal(rec.Data, data) {
+				return false
+			}
+			c, err := loaded.GetContent("c/" + name)
+			if err != nil || !bytes.Equal(c.Data, data) {
+				return false
+			}
+			if got := loaded.DocsByKeyword("kw/" + name); len(got) != 1 || got[0] != name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

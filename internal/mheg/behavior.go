@@ -1,0 +1,287 @@
+package mheg
+
+import (
+	"fmt"
+	"time"
+)
+
+// StatusAttr names an observable attribute of a run-time object that
+// link conditions can test. These correspond to the MHEG "object status
+// or presentable status" values a trigger watches (§2.2.2.3).
+type StatusAttr int
+
+// Observable attributes.
+const (
+	AttrNone           StatusAttr = iota
+	AttrPreparation               // NotReady / Ready
+	AttrRunning                   // NotRunning / Running / Finished
+	AttrSelection                 // selection count (buttons)
+	AttrSelectionState            // current selection value (menus, entry fields)
+	AttrVisibility                // visible flag
+	AttrPosition                  // X coordinate (generic units)
+	AttrVolume                    // audio volume
+	AttrData                      // current data value (generic value objects)
+	AttrUserInput                 // free-form user input event payload
+)
+
+var attrNames = map[StatusAttr]string{
+	AttrNone: "none", AttrPreparation: "preparation", AttrRunning: "running",
+	AttrSelection: "selection", AttrSelectionState: "selection-state",
+	AttrVisibility: "visibility", AttrPosition: "position",
+	AttrVolume: "volume", AttrData: "data", AttrUserInput: "user-input",
+}
+
+func (a StatusAttr) String() string {
+	if s, ok := attrNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("StatusAttr(%d)", int(a))
+}
+
+// Preparation status values (AttrPreparation).
+const (
+	StatusNotReady int64 = iota
+	StatusReady
+)
+
+// Running status values (AttrRunning).
+const (
+	StatusNotRunning int64 = iota
+	StatusRunning
+	StatusFinished
+)
+
+// CompareOp is a comparison operator in a link condition.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEqual CompareOp = iota
+	OpNotEqual
+	OpGreater
+	OpLess
+)
+
+var opNames = [...]string{"==", "!=", ">", "<"}
+
+func (o CompareOp) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("CompareOp(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Compare applies the operator to two values. Values of different kinds
+// never compare equal; ordering applies to integers only.
+func (o CompareOp) Compare(a, b Value) bool {
+	switch o {
+	case OpEqual:
+		return a.Equal(b)
+	case OpNotEqual:
+		return !a.Equal(b)
+	case OpGreater:
+		return a.Kind == ValueInt && b.Kind == ValueInt && a.Int > b.Int
+	case OpLess:
+		return a.Kind == ValueInt && b.Kind == ValueInt && a.Int < b.Int
+	default:
+		return false
+	}
+}
+
+// Condition tests one attribute of one object against a value. A link's
+// trigger condition fires on a *change* of the watched attribute; its
+// additional conditions are then evaluated against current state
+// (§2.2.2.3 "Conditional Synchronization").
+type Condition struct {
+	Source ID
+	Attr   StatusAttr
+	Op     CompareOp
+	Value  Value
+}
+
+func (c Condition) String() string {
+	return fmt.Sprintf("%v.%v %v %v", c.Source, c.Attr, c.Op, c.Value)
+}
+
+func (c Condition) validate() error {
+	if c.Source.Zero() {
+		return fmt.Errorf("condition %v has zero source", c)
+	}
+	if c.Attr == AttrNone {
+		return fmt.Errorf("condition %v tests no attribute", c)
+	}
+	return nil
+}
+
+// Link is the MHEG link class: relationships between sources and
+// targets. "The actions ... are to be applied on certain targets when
+// the conditions are satisfied" (§2.2.2.1).
+type Link struct {
+	Common
+	Trigger    Condition
+	Additional []Condition
+	// Effect is either a reference to an action object (Effect) or an
+	// inline action (Inline), the common authoring shorthand.
+	Effect ID
+	Inline []ElementaryAction
+}
+
+// NewLink starts a link with a trigger and inline effect actions.
+func NewLink(id ID, trigger Condition, effect ...ElementaryAction) *Link {
+	return &Link{Common: Common{Class: ClassLink, ID: id}, Trigger: trigger, Inline: effect}
+}
+
+// Validate implements Object.
+func (l *Link) Validate() error {
+	if err := l.validateCommon(); err != nil {
+		return err
+	}
+	if l.Class != ClassLink {
+		return fmt.Errorf("link %v has class %v", l.ID, l.Class)
+	}
+	if err := l.Trigger.validate(); err != nil {
+		return fmt.Errorf("link %v trigger: %w", l.ID, err)
+	}
+	for _, c := range l.Additional {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("link %v: %w", l.ID, err)
+		}
+	}
+	if l.Effect.Zero() && len(l.Inline) == 0 {
+		return fmt.Errorf("link %v has no effect", l.ID)
+	}
+	if !l.Effect.Zero() && len(l.Inline) > 0 {
+		return fmt.Errorf("link %v has both action reference and inline actions", l.ID)
+	}
+	for _, a := range l.Inline {
+		if err := a.validate(); err != nil {
+			return fmt.Errorf("link %v: %w", l.ID, err)
+		}
+	}
+	return nil
+}
+
+// ActionOp enumerates the elementary actions of §4.4.1's action class
+// hierarchy: preparation, creation, presentation, activation,
+// interaction, getting value, rendition.
+type ActionOp int
+
+// Elementary actions.
+const (
+	// Preparation: availability of model objects in the engine.
+	OpPrepare ActionOp = iota + 1
+	OpDestroy
+	// Creation: run-time instances from model objects.
+	OpNew
+	OpDelete
+	// Presentation: progress of run-time instances.
+	OpRun
+	OpStop
+	OpPause
+	OpResume
+	// Rendition: prepare presentation per media type.
+	OpSetPosition // args: x, y
+	OpSetSize     // args: w, h
+	OpSetSpeed    // args: percent (time-based media)
+	OpSetVolume   // args: volume (audible media)
+	OpSetVisible  // args: bool
+	// Interaction: results of user interaction.
+	OpSetHighlight // args: bool
+	OpSetData      // args: value
+	// Activation: script instances.
+	OpActivate
+	OpDeactivate
+	// Getting value: copy an attribute of the target into a generic
+	// value object. args: attr (int), destination id via TargetAux.
+	OpGetValue
+)
+
+var actionNames = map[ActionOp]string{
+	OpPrepare: "prepare", OpDestroy: "destroy", OpNew: "new", OpDelete: "delete",
+	OpRun: "run", OpStop: "stop", OpPause: "pause", OpResume: "resume",
+	OpSetPosition: "set-position", OpSetSize: "set-size", OpSetSpeed: "set-speed",
+	OpSetVolume: "set-volume", OpSetVisible: "set-visible",
+	OpSetHighlight: "set-highlight", OpSetData: "set-data",
+	OpActivate: "activate", OpDeactivate: "deactivate", OpGetValue: "get-value",
+}
+
+func (o ActionOp) String() string {
+	if s, ok := actionNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("ActionOp(%d)", int(o))
+}
+
+// ElementaryAction applies one operation to one or more targets,
+// optionally after a delay relative to the action set's activation —
+// that delay is how the action class expresses the elementary
+// synchronization offsets T1/T2 of Fig 2.6.
+type ElementaryAction struct {
+	Op      ActionOp
+	Targets []ID
+	Args    []Value
+	Delay   time.Duration
+	// TargetAux carries a secondary object for ops that need one
+	// (OpGetValue stores into it).
+	TargetAux ID
+}
+
+func (a ElementaryAction) validate() error {
+	if a.Op == 0 {
+		return fmt.Errorf("elementary action with no op")
+	}
+	if len(a.Targets) == 0 {
+		return fmt.Errorf("action %v has no targets", a.Op)
+	}
+	for _, t := range a.Targets {
+		if t.Zero() {
+			return fmt.Errorf("action %v has zero target", a.Op)
+		}
+	}
+	if a.Delay < 0 {
+		return fmt.Errorf("action %v has negative delay", a.Op)
+	}
+	return nil
+}
+
+// Act is shorthand for a single-target elementary action.
+func Act(op ActionOp, target ID, args ...Value) ElementaryAction {
+	return ElementaryAction{Op: op, Targets: []ID{target}, Args: args}
+}
+
+// ActAfter is Act with a start delay.
+func ActAfter(d time.Duration, op ActionOp, target ID, args ...Value) ElementaryAction {
+	return ElementaryAction{Op: op, Targets: []ID{target}, Args: args, Delay: d}
+}
+
+// Action is the MHEG action class: "a synchronization set of elementary
+// actions to be applied on one or more targets" (§2.2.2.1). It can be
+// used alone or referenced from a link as the link effect.
+type Action struct {
+	Common
+	Items []ElementaryAction
+}
+
+// NewAction starts an action object.
+func NewAction(id ID, items ...ElementaryAction) *Action {
+	return &Action{Common: Common{Class: ClassAction, ID: id}, Items: items}
+}
+
+// Validate implements Object.
+func (a *Action) Validate() error {
+	if err := a.validateCommon(); err != nil {
+		return err
+	}
+	if a.Class != ClassAction {
+		return fmt.Errorf("action %v has class %v", a.ID, a.Class)
+	}
+	if len(a.Items) == 0 {
+		return fmt.Errorf("action %v is empty", a.ID)
+	}
+	for _, it := range a.Items {
+		if err := it.validate(); err != nil {
+			return fmt.Errorf("action %v: %w", a.ID, err)
+		}
+	}
+	return nil
+}

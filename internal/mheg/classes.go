@@ -1,0 +1,294 @@
+package mheg
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/media"
+)
+
+// Content is the MHEG content class: it contains or references one
+// mono-media object together with a parameter set describing its
+// presentation (§2.2.2.1).
+//
+// MITS stores content data separately from the scenario (§3.4.2):
+// courseware objects carry a ContentRef into the content database and
+// the data is transmitted only when requested. Inline data remains
+// supported (and is what the embedded-vs-referenced ablation compares).
+type Content struct {
+	Common
+	Coding media.Coding
+	// Exactly one of Inline and ContentRef is set.
+	Inline     []byte
+	ContentRef string
+
+	// Original presentation parameters, in generic units.
+	OrigSize     Size
+	OrigDuration time.Duration
+	OrigVolume   int
+	// Channel is the logical presentation space run-time instances are
+	// placed on (§4.3.3); empty inherits the enclosing composite's.
+	Channel string
+}
+
+// NewContent starts a referenced content object.
+func NewContent(id ID, coding media.Coding, contentRef string) *Content {
+	return &Content{
+		Common:     Common{Class: ClassContent, ID: id},
+		Coding:     coding,
+		ContentRef: contentRef,
+	}
+}
+
+// NewInlineContent starts a content object with embedded data.
+func NewInlineContent(id ID, coding media.Coding, data []byte) *Content {
+	return &Content{
+		Common: Common{Class: ClassContent, ID: id},
+		Coding: coding,
+		Inline: data,
+	}
+}
+
+// Referenced reports whether the content data lives in the content
+// database rather than inline.
+func (c *Content) Referenced() bool { return c.ContentRef != "" }
+
+// Validate implements Object.
+func (c *Content) Validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.Class != ClassContent && c.Class != ClassMultiplexedContent {
+		return fmt.Errorf("content object %v has class %v", c.ID, c.Class)
+	}
+	if c.Coding == "" {
+		return fmt.Errorf("content object %v has no coding method", c.ID)
+	}
+	if (len(c.Inline) > 0) == (c.ContentRef != "") {
+		return fmt.Errorf("content object %v must have exactly one of inline data and content reference", c.ID)
+	}
+	return nil
+}
+
+// StreamDesc describes one stream inside a multiplexed content object.
+// "A stream identifier encoded as an integer can be used to control
+// single streams, for example, to turn audio on and off in an MPEG
+// system stream" (§4.4.1).
+type StreamDesc struct {
+	StreamID int
+	Class    media.Class
+	Coding   media.Coding
+}
+
+// MultiplexedContent is the MHEG multiplexed content class: content
+// whose data interleaves several streams, each individually
+// controllable.
+type MultiplexedContent struct {
+	Content
+	Streams []StreamDesc
+}
+
+// NewMultiplexedContent starts a multiplexed content object.
+func NewMultiplexedContent(id ID, coding media.Coding, contentRef string, streams ...StreamDesc) *MultiplexedContent {
+	m := &MultiplexedContent{
+		Content: Content{
+			Common:     Common{Class: ClassMultiplexedContent, ID: id},
+			Coding:     coding,
+			ContentRef: contentRef,
+		},
+		Streams: streams,
+	}
+	return m
+}
+
+// Validate implements Object.
+func (m *MultiplexedContent) Validate() error {
+	if err := m.Content.Validate(); err != nil {
+		return err
+	}
+	if m.Class != ClassMultiplexedContent {
+		return fmt.Errorf("multiplexed content %v has class %v", m.ID, m.Class)
+	}
+	if len(m.Streams) < 2 {
+		return fmt.Errorf("multiplexed content %v has %d streams, need ≥2", m.ID, len(m.Streams))
+	}
+	seen := make(map[int]bool, len(m.Streams))
+	for _, s := range m.Streams {
+		if seen[s.StreamID] {
+			return fmt.Errorf("multiplexed content %v has duplicate stream id %d", m.ID, s.StreamID)
+		}
+		seen[s.StreamID] = true
+	}
+	return nil
+}
+
+// Composite is the MHEG composite class: it associates objects "with a
+// consistent approach of synchronization in time and space" (§2.2.2.1).
+// Components may themselves be composites, giving the
+// section/subsection/scene hierarchy of the interactive multimedia
+// document model (§4.3.3).
+type Composite struct {
+	Common
+	// Components are the model objects composed, in presentation order
+	// for serial composition.
+	Components []ID
+	// Links are link objects that become active while the composite is
+	// running.
+	Links []ID
+	// StartUp is an optional action object applied when the composite
+	// starts running (it typically creates and runs run-time components).
+	StartUp ID
+}
+
+// NewComposite starts a composite object.
+func NewComposite(id ID, components ...ID) *Composite {
+	return &Composite{Common: Common{Class: ClassComposite, ID: id}, Components: components}
+}
+
+// Validate implements Object.
+func (c *Composite) Validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.Class != ClassComposite {
+		return fmt.Errorf("composite %v has class %v", c.ID, c.Class)
+	}
+	seen := make(map[ID]bool, len(c.Components))
+	for _, comp := range c.Components {
+		if comp.Zero() {
+			return fmt.Errorf("composite %v has zero component id", c.ID)
+		}
+		if comp == c.ID {
+			return fmt.Errorf("composite %v contains itself", c.ID)
+		}
+		if seen[comp] {
+			return fmt.Errorf("composite %v lists component %v twice", c.ID, comp)
+		}
+		seen[comp] = true
+	}
+	return nil
+}
+
+// Script is the MHEG script class: a container for behaviour expressed
+// in a non-MHEG language, interpreted by the using application
+// (§2.2.2.1). MITS uses a tiny line-oriented command language executed
+// by the navigator.
+type Script struct {
+	Common
+	Language string
+	Source   []byte
+}
+
+// NewScript starts a script object.
+func NewScript(id ID, language string, source []byte) *Script {
+	return &Script{Common: Common{Class: ClassScript, ID: id}, Language: language, Source: source}
+}
+
+// Validate implements Object.
+func (s *Script) Validate() error {
+	if err := s.validateCommon(); err != nil {
+		return err
+	}
+	if s.Class != ClassScript {
+		return fmt.Errorf("script %v has class %v", s.ID, s.Class)
+	}
+	if s.Language == "" {
+		return fmt.Errorf("script %v has no language identifier", s.ID)
+	}
+	return nil
+}
+
+// Container is the MHEG container class: it regroups a set of objects
+// "in order to interchange them as a whole set" (§2.2.2.1). For
+// interchange convenience the simulator nests the objects themselves.
+type Container struct {
+	Common
+	Items []Object
+}
+
+// NewContainer starts a container.
+func NewContainer(id ID, items ...Object) *Container {
+	return &Container{Common: Common{Class: ClassContainer, ID: id}, Items: items}
+}
+
+// Validate implements Object, validating every nested object.
+func (c *Container) Validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.Class != ClassContainer {
+		return fmt.Errorf("container %v has class %v", c.ID, c.Class)
+	}
+	seen := make(map[ID]bool, len(c.Items))
+	for _, o := range c.Items {
+		if o == nil {
+			return fmt.Errorf("container %v holds a nil object", c.ID)
+		}
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("container %v: %w", c.ID, err)
+		}
+		oid := o.Base().ID
+		if seen[oid] {
+			return fmt.Errorf("container %v holds duplicate object %v", c.ID, oid)
+		}
+		seen[oid] = true
+	}
+	return nil
+}
+
+// ResourceNeed is one resource requirement in a descriptor.
+type ResourceNeed struct {
+	Coding   media.Coding
+	BitRate  int // bits/s needed for real-time presentation
+	MemoryKB int // decoder/buffer memory
+}
+
+// Descriptor is the MHEG descriptor class: resource information about a
+// set of interchanged objects, used to negotiate an interchange session
+// before content flows (§2.2.2.1, §3.1.2.2 "Minimal Resources").
+type Descriptor struct {
+	Common
+	Describes []ID
+	Needs     []ResourceNeed
+	ReadMe    string
+}
+
+// NewDescriptor starts a descriptor for the given objects.
+func NewDescriptor(id ID, describes ...ID) *Descriptor {
+	return &Descriptor{Common: Common{Class: ClassDescriptor, ID: id}, Describes: describes}
+}
+
+// Validate implements Object.
+func (d *Descriptor) Validate() error {
+	if err := d.validateCommon(); err != nil {
+		return err
+	}
+	if d.Class != ClassDescriptor {
+		return fmt.Errorf("descriptor %v has class %v", d.ID, d.Class)
+	}
+	for _, n := range d.Needs {
+		if n.BitRate < 0 || n.MemoryKB < 0 {
+			return fmt.Errorf("descriptor %v has negative resource need", d.ID)
+		}
+	}
+	return nil
+}
+
+// Satisfiable reports whether a presentation site with the given
+// capabilities can present the described objects, and the first unmet
+// need otherwise. This is the descriptor "negotiation between the
+// source of the MHEG objects and the presentation site".
+func (d *Descriptor) Satisfiable(bitRate, memoryKB int, codings map[media.Coding]bool) (bool, string) {
+	for _, n := range d.Needs {
+		if n.Coding != "" && !codings[n.Coding] {
+			return false, fmt.Sprintf("coding %s unsupported", n.Coding)
+		}
+		if n.BitRate > bitRate {
+			return false, fmt.Sprintf("needs %d bit/s, have %d", n.BitRate, bitRate)
+		}
+		if n.MemoryKB > memoryKB {
+			return false, fmt.Sprintf("needs %d KB, have %d", n.MemoryKB, memoryKB)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,501 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"mits/internal/media"
+	"mits/internal/mheg"
+)
+
+// binaryEncoding is a length-prefixed TLV encoding: one class-tag byte,
+// then class-specific fields. Strings and byte fields carry a u32
+// length; lists carry a u32 count. It plays the role of the ASN.1/DER
+// encoding in the paper's interchange model.
+type binaryEncoding struct{}
+
+func (binaryEncoding) Name() string { return "asn1" }
+
+func (binaryEncoding) Encode(o mheg.Object) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: refusing to encode invalid object: %w", err)
+	}
+	var w writer
+	if err := encodeObject(&w, o); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func (binaryEncoding) Decode(data []byte) (mheg.Object, error) {
+	r := &reader{buf: data}
+	o, err := decodeObject(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("codec: %d trailing bytes after object", len(r.buf)-r.off)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: decoded object invalid: %w", err)
+	}
+	return o, nil
+}
+
+// ---- primitive writer/reader ----
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) id(id mheg.ID) {
+	w.str(id.App)
+	w.u32(id.Num)
+}
+func (w *writer) ids(ids []mheg.ID) {
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		w.id(id)
+	}
+}
+func (w *writer) strs(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+var errTruncated = errors.New("codec: truncated object")
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64    { return int64(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n <= 0 || r.off+n > len(r.buf) {
+		if n != 0 {
+			r.fail()
+		}
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += n
+	return b
+}
+func (r *reader) str() string { return string(r.bytes()) }
+func (r *reader) id() mheg.ID {
+	app := r.str()
+	num := r.u32()
+	return mheg.ID{App: app, Num: num}
+}
+func (r *reader) count() int {
+	n := int(r.u32())
+	// A count can never exceed the remaining bytes (every element costs
+	// at least one byte); reject early to bound allocations on corrupt
+	// input.
+	if r.err == nil && n > len(r.buf)-r.off {
+		r.err = fmt.Errorf("codec: implausible count %d with %d bytes left", n, len(r.buf)-r.off)
+	}
+	return n
+}
+func (r *reader) ids() []mheg.ID {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]mheg.ID, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.id())
+	}
+	return out
+}
+func (r *reader) strs() []string {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+// ---- common attributes ----
+
+func encodeCommon(w *writer, c *mheg.Common) {
+	w.str(mheg.StandardID)
+	w.u8(uint8(mheg.Version))
+	w.id(c.ID)
+	w.str(c.Info.Name)
+	w.str(c.Info.Owner)
+	w.str(c.Info.Version)
+	w.str(c.Info.Date)
+	w.strs(c.Info.Keywords)
+	w.str(c.Info.Copyright)
+	w.str(c.Info.Comments)
+}
+
+func decodeCommon(r *reader, class mheg.ClassID) mheg.Common {
+	std := r.str()
+	ver := r.u8()
+	if r.err == nil && std != mheg.StandardID {
+		r.err = fmt.Errorf("codec: standard id %q, want %q", std, mheg.StandardID)
+	}
+	if r.err == nil && ver != mheg.Version {
+		r.err = fmt.Errorf("codec: standard version %d, want %d", ver, mheg.Version)
+	}
+	c := mheg.Common{Class: class, ID: r.id()}
+	c.Info.Name = r.str()
+	c.Info.Owner = r.str()
+	c.Info.Version = r.str()
+	c.Info.Date = r.str()
+	c.Info.Keywords = r.strs()
+	c.Info.Copyright = r.str()
+	c.Info.Comments = r.str()
+	return c
+}
+
+// ---- values, conditions, actions ----
+
+func encodeValue(w *writer, v mheg.Value) {
+	w.u8(uint8(v.Kind))
+	switch v.Kind {
+	case mheg.ValueInt:
+		w.i64(v.Int)
+	case mheg.ValueBool:
+		w.boolean(v.Bool)
+	case mheg.ValueString:
+		w.str(v.Str)
+	}
+}
+
+func decodeValue(r *reader) mheg.Value {
+	kind := mheg.ValueKind(r.u8())
+	switch kind {
+	case mheg.ValueNone:
+		return mheg.Value{}
+	case mheg.ValueInt:
+		return mheg.IntValue(r.i64())
+	case mheg.ValueBool:
+		return mheg.BoolValue(r.boolean())
+	case mheg.ValueString:
+		return mheg.StringValue(r.str())
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("codec: bad value kind %d", kind)
+		}
+		return mheg.Value{}
+	}
+}
+
+func encodeCondition(w *writer, c mheg.Condition) {
+	w.id(c.Source)
+	w.u8(uint8(c.Attr))
+	w.u8(uint8(c.Op))
+	encodeValue(w, c.Value)
+}
+
+func decodeCondition(r *reader) mheg.Condition {
+	return mheg.Condition{
+		Source: r.id(),
+		Attr:   mheg.StatusAttr(r.u8()),
+		Op:     mheg.CompareOp(r.u8()),
+		Value:  decodeValue(r),
+	}
+}
+
+func encodeElementary(w *writer, a mheg.ElementaryAction) {
+	w.u8(uint8(a.Op))
+	w.ids(a.Targets)
+	w.u32(uint32(len(a.Args)))
+	for _, v := range a.Args {
+		encodeValue(w, v)
+	}
+	w.u64(uint64(a.Delay))
+	w.id(a.TargetAux)
+}
+
+func decodeElementary(r *reader) mheg.ElementaryAction {
+	a := mheg.ElementaryAction{
+		Op:      mheg.ActionOp(r.u8()),
+		Targets: r.ids(),
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		a.Args = append(a.Args, decodeValue(r))
+	}
+	a.Delay = time.Duration(r.u64())
+	a.TargetAux = r.id()
+	return a
+}
+
+func encodeElementaries(w *writer, as []mheg.ElementaryAction) {
+	w.u32(uint32(len(as)))
+	for _, a := range as {
+		encodeElementary(w, a)
+	}
+}
+
+func decodeElementaries(r *reader) []mheg.ElementaryAction {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]mheg.ElementaryAction, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, decodeElementary(r))
+	}
+	return out
+}
+
+// ---- objects ----
+
+func encodeObject(w *writer, o mheg.Object) error {
+	switch v := o.(type) {
+	case *mheg.Content:
+		w.u8(uint8(mheg.ClassContent))
+		encodeCommon(w, v.Base())
+		encodeContentFields(w, v)
+	case *mheg.MultiplexedContent:
+		w.u8(uint8(mheg.ClassMultiplexedContent))
+		encodeCommon(w, v.Base())
+		encodeContentFields(w, &v.Content)
+		w.u32(uint32(len(v.Streams)))
+		for _, s := range v.Streams {
+			w.u32(uint32(s.StreamID))
+			w.u8(uint8(s.Class))
+			w.str(string(s.Coding))
+		}
+	case *mheg.Composite:
+		w.u8(uint8(mheg.ClassComposite))
+		encodeCommon(w, v.Base())
+		w.ids(v.Components)
+		w.ids(v.Links)
+		w.id(v.StartUp)
+	case *mheg.Script:
+		w.u8(uint8(mheg.ClassScript))
+		encodeCommon(w, v.Base())
+		w.str(v.Language)
+		w.bytes(v.Source)
+	case *mheg.Link:
+		w.u8(uint8(mheg.ClassLink))
+		encodeCommon(w, v.Base())
+		encodeCondition(w, v.Trigger)
+		w.u32(uint32(len(v.Additional)))
+		for _, c := range v.Additional {
+			encodeCondition(w, c)
+		}
+		w.id(v.Effect)
+		encodeElementaries(w, v.Inline)
+	case *mheg.Action:
+		w.u8(uint8(mheg.ClassAction))
+		encodeCommon(w, v.Base())
+		encodeElementaries(w, v.Items)
+	case *mheg.Container:
+		w.u8(uint8(mheg.ClassContainer))
+		encodeCommon(w, v.Base())
+		w.u32(uint32(len(v.Items)))
+		for _, item := range v.Items {
+			var inner writer
+			if err := encodeObject(&inner, item); err != nil {
+				return err
+			}
+			w.bytes(inner.buf)
+		}
+	case *mheg.Descriptor:
+		w.u8(uint8(mheg.ClassDescriptor))
+		encodeCommon(w, v.Base())
+		w.ids(v.Describes)
+		w.u32(uint32(len(v.Needs)))
+		for _, n := range v.Needs {
+			w.str(string(n.Coding))
+			w.u32(uint32(n.BitRate))
+			w.u32(uint32(n.MemoryKB))
+		}
+		w.str(v.ReadMe)
+	default:
+		return fmt.Errorf("codec: cannot encode %T", o)
+	}
+	return nil
+}
+
+func encodeContentFields(w *writer, c *mheg.Content) {
+	w.str(string(c.Coding))
+	w.bytes(c.Inline)
+	w.str(c.ContentRef)
+	w.u32(uint32(c.OrigSize.W))
+	w.u32(uint32(c.OrigSize.H))
+	w.u64(uint64(c.OrigDuration))
+	w.u32(uint32(c.OrigVolume))
+	w.str(c.Channel)
+}
+
+func decodeContentFields(r *reader, c *mheg.Content) {
+	c.Coding = media.Coding(r.str())
+	c.Inline = r.bytes()
+	c.ContentRef = r.str()
+	c.OrigSize.W = int(r.u32())
+	c.OrigSize.H = int(r.u32())
+	c.OrigDuration = time.Duration(r.u64())
+	c.OrigVolume = int(r.u32())
+	c.Channel = r.str()
+}
+
+// maxContainerDepth bounds recursion on hostile input.
+const maxContainerDepth = 16
+
+func decodeObject(r *reader) (mheg.Object, error) {
+	return decodeObjectDepth(r, 0)
+}
+
+func decodeObjectDepth(r *reader, depth int) (mheg.Object, error) {
+	if depth > maxContainerDepth {
+		return nil, fmt.Errorf("codec: container nesting exceeds %d", maxContainerDepth)
+	}
+	class := mheg.ClassID(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	common := decodeCommon(r, class)
+	var obj mheg.Object
+	switch class {
+	case mheg.ClassContent:
+		c := &mheg.Content{Common: common}
+		decodeContentFields(r, c)
+		obj = c
+	case mheg.ClassMultiplexedContent:
+		m := &mheg.MultiplexedContent{Content: mheg.Content{Common: common}}
+		decodeContentFields(r, &m.Content)
+		n := r.count()
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Streams = append(m.Streams, mheg.StreamDesc{
+				StreamID: int(r.u32()),
+				Class:    media.Class(r.u8()),
+				Coding:   media.Coding(r.str()),
+			})
+		}
+		obj = m
+	case mheg.ClassComposite:
+		c := &mheg.Composite{Common: common}
+		c.Components = r.ids()
+		c.Links = r.ids()
+		c.StartUp = r.id()
+		obj = c
+	case mheg.ClassScript:
+		s := &mheg.Script{Common: common}
+		s.Language = r.str()
+		s.Source = r.bytes()
+		obj = s
+	case mheg.ClassLink:
+		l := &mheg.Link{Common: common}
+		l.Trigger = decodeCondition(r)
+		n := r.count()
+		for i := 0; i < n && r.err == nil; i++ {
+			l.Additional = append(l.Additional, decodeCondition(r))
+		}
+		l.Effect = r.id()
+		l.Inline = decodeElementaries(r)
+		obj = l
+	case mheg.ClassAction:
+		a := &mheg.Action{Common: common}
+		a.Items = decodeElementaries(r)
+		obj = a
+	case mheg.ClassContainer:
+		c := &mheg.Container{Common: common}
+		n := r.count()
+		for i := 0; i < n && r.err == nil; i++ {
+			blob := r.bytes()
+			if r.err != nil {
+				break
+			}
+			inner := &reader{buf: blob}
+			item, err := decodeObjectDepth(inner, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("codec: container item %d: %w", i, err)
+			}
+			if inner.off != len(inner.buf) {
+				return nil, fmt.Errorf("codec: container item %d has trailing bytes", i)
+			}
+			c.Items = append(c.Items, item)
+		}
+		obj = c
+	case mheg.ClassDescriptor:
+		d := &mheg.Descriptor{Common: common}
+		d.Describes = r.ids()
+		n := r.count()
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Needs = append(d.Needs, mheg.ResourceNeed{
+				Coding:   media.Coding(r.str()),
+				BitRate:  int(r.u32()),
+				MemoryKB: int(r.u32()),
+			})
+		}
+		d.ReadMe = r.str()
+		obj = d
+	default:
+		return nil, fmt.Errorf("codec: unknown class tag %d", class)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return obj, nil
+}

@@ -1,0 +1,44 @@
+// Package codec implements the two MHEG interchange encodings of §3.3:
+// a compact binary TLV format standing in for the ASN.1/DER encoding
+// (the wire default), and a human-readable tagged-text format standing
+// in for the SGML notation (used by authoring tools and debugging).
+//
+// Both encodings round-trip every object class, including containers
+// with nested objects, and both validate objects on decode so that only
+// well-formed form (b) objects ever enter an engine.
+package codec
+
+import (
+	"fmt"
+
+	"mits/internal/mheg"
+)
+
+// Encoding converts MHEG objects to and from an interchange byte form —
+// the form (a) of the object life cycle (Fig 2.4).
+type Encoding interface {
+	// Name identifies the encoding ("asn1" or "sgml").
+	Name() string
+	// Encode serializes a validated object.
+	Encode(mheg.Object) ([]byte, error)
+	// Decode parses and validates one object.
+	Decode([]byte) (mheg.Object, error)
+}
+
+// ASN1 returns the binary encoding.
+func ASN1() Encoding { return binaryEncoding{} }
+
+// SGML returns the textual encoding.
+func SGML() Encoding { return sgmlEncoding{} }
+
+// ByName looks an encoding up by its name.
+func ByName(name string) (Encoding, error) {
+	switch name {
+	case "asn1":
+		return ASN1(), nil
+	case "sgml":
+		return SGML(), nil
+	default:
+		return nil, fmt.Errorf("codec: unknown encoding %q", name)
+	}
+}

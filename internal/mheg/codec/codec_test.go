@@ -1,0 +1,254 @@
+package codec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mits/internal/media"
+	"mits/internal/mheg"
+)
+
+func id(n uint32) mheg.ID { return mheg.ID{App: "crs", Num: n} }
+
+// sampleObjects builds one representative of every class, with every
+// field populated, including awkward characters in strings.
+func sampleObjects() []mheg.Object {
+	content := mheg.NewContent(id(1), media.CodingMPEG, "store/paris.mpg")
+	content.Info = mheg.GeneralInfo{
+		Name: "Paris <intro> & \"outro\"", Owner: "MIRLab", Version: "2",
+		Date: "1996-05-01", Keywords: []string{"paris", "travel"},
+		Copyright: "© uOttawa", Comments: "line1\nline2",
+	}
+	content.OrigSize = mheg.Size{W: 64, H: 128}
+	content.OrigDuration = 6 * time.Second
+	content.OrigVolume = 70
+
+	inline := mheg.NewInlineContent(id(2), media.CodingASCII, media.EncodeText("hello, world"))
+
+	mux := mheg.NewMultiplexedContent(id(3), media.CodingMPEG, "store/movie.mpg",
+		mheg.StreamDesc{StreamID: 1, Class: media.ClassVideo, Coding: media.CodingMPEG},
+		mheg.StreamDesc{StreamID: 2, Class: media.ClassAudio, Coding: media.CodingWAV},
+	)
+
+	composite := mheg.NewComposite(id(10), id(1), id(2), id(3))
+	composite.Links = []mheg.ID{id(20)}
+	composite.StartUp = id(30)
+
+	script := mheg.NewScript(id(11), "mits-script", []byte("run intro\nwait 5s\n"))
+
+	link := mheg.NewLink(id(20),
+		mheg.Condition{Source: id(1), Attr: mheg.AttrRunning, Op: mheg.OpEqual, Value: mheg.IntValue(mheg.StatusFinished)},
+		mheg.ActAfter(250*time.Millisecond, mheg.OpRun, id(2), mheg.IntValue(1)),
+	)
+	link.Additional = []mheg.Condition{
+		{Source: id(2), Attr: mheg.AttrVisibility, Op: mheg.OpEqual, Value: mheg.BoolValue(true)},
+		{Source: id(3), Attr: mheg.AttrData, Op: mheg.OpNotEqual, Value: mheg.StringValue("done")},
+	}
+
+	action := mheg.NewAction(id(30),
+		mheg.Act(mheg.OpNew, id(1)),
+		mheg.Act(mheg.OpSetPosition, id(1), mheg.IntValue(100), mheg.IntValue(200)),
+		mheg.ElementaryAction{Op: mheg.OpGetValue, Targets: []mheg.ID{id(1)},
+			Args: []mheg.Value{mheg.IntValue(int64(mheg.AttrVolume))}, TargetAux: id(2)},
+	)
+
+	descriptor := mheg.NewDescriptor(id(40), id(1), id(3))
+	descriptor.Needs = []mheg.ResourceNeed{
+		{Coding: media.CodingMPEG, BitRate: 1500000, MemoryKB: 2048},
+	}
+	descriptor.ReadMe = "needs an MPEG decoder"
+
+	container := mheg.NewContainer(id(50), content, inline, composite, link, action)
+
+	nested := mheg.NewContainer(id(51), mheg.NewContainer(id(52), mheg.NewTextContent(id(53), "deep")), descriptor)
+
+	return []mheg.Object{content, inline, mux, composite, script, link, action, descriptor, container, nested}
+}
+
+func TestRoundTripBothEncodings(t *testing.T) {
+	for _, enc := range []Encoding{ASN1(), SGML()} {
+		for _, obj := range sampleObjects() {
+			data, err := enc.Encode(obj)
+			if err != nil {
+				t.Fatalf("%s encode %v: %v", enc.Name(), obj.Base().ID, err)
+			}
+			got, err := enc.Decode(data)
+			if err != nil {
+				t.Fatalf("%s decode %v: %v\n%s", enc.Name(), obj.Base().ID, err, data)
+			}
+			if !reflect.DeepEqual(got, obj) {
+				t.Errorf("%s round trip of %v (%v) differs:\n got %#v\nwant %#v",
+					enc.Name(), obj.Base().ID, obj.Base().Class, got, obj)
+			}
+		}
+	}
+}
+
+func TestCrossEncodingEquivalence(t *testing.T) {
+	// Encode with SGML, decode, re-encode with binary, decode: the
+	// object graph must survive the trip across notations (Fig 2.9's
+	// heterogeneous interchange).
+	a, s := ASN1(), SGML()
+	for _, obj := range sampleObjects() {
+		text, err := s.Encode(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaText, err := s.Decode(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := a.Encode(viaText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := a.Decode(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(final, obj) {
+			t.Errorf("cross-encoding trip of %v differs", obj.Base().ID)
+		}
+	}
+}
+
+func TestBinarySmallerThanSGML(t *testing.T) {
+	a, s := ASN1(), SGML()
+	for _, obj := range sampleObjects() {
+		bin, _ := a.Encode(obj)
+		text, _ := s.Encode(obj)
+		if len(bin) >= len(text) {
+			t.Errorf("object %v: binary %dB not smaller than sgml %dB",
+				obj.Base().ID, len(bin), len(text))
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidObject(t *testing.T) {
+	bad := mheg.NewComposite(id(1), id(1)) // contains itself
+	for _, enc := range []Encoding{ASN1(), SGML()} {
+		if _, err := enc.Encode(bad); err == nil {
+			t.Errorf("%s encoded an invalid object", enc.Name())
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	obj := mheg.NewTextContent(id(1), "payload")
+	for _, enc := range []Encoding{ASN1(), SGML()} {
+		data, err := enc.Encode(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := enc.Decode(data[:len(data)/2]); err == nil {
+			t.Errorf("%s decoded truncated input", enc.Name())
+		}
+		if _, err := enc.Decode(nil); err == nil {
+			t.Errorf("%s decoded empty input", enc.Name())
+		}
+		if _, err := enc.Decode([]byte("garbage!")); err == nil {
+			t.Errorf("%s decoded garbage", enc.Name())
+		}
+	}
+}
+
+func TestBinaryDecodeRejectsTrailing(t *testing.T) {
+	data, _ := ASN1().Encode(mheg.NewTextContent(id(1), "x"))
+	if _, err := ASN1().Decode(append(data, 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestBinaryFuzzNoPanic(t *testing.T) {
+	// Random byte strings must never panic the decoder, only error.
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = ASN1().Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryBitFlipsNeverPanic(t *testing.T) {
+	obj := sampleObjects()[8] // the container
+	data, _ := ASN1().Encode(obj)
+	for i := 0; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x55
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on bit flip at %d: %v", i, r)
+				}
+			}()
+			_, _ = ASN1().Decode(mut)
+		}()
+	}
+}
+
+func TestSGMLIsHumanReadable(t *testing.T) {
+	obj := mheg.NewVideoContent(id(1), "store/paris.mpg", mheg.Size{W: 64, H: 128}, 6*time.Second)
+	obj.Info.Name = "Paris intro"
+	text, err := SGML().Encode(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<content", `coding="MPEG"`, `ref="store/paris.mpg"`, `name="Paris intro"`, `w="64"`} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Errorf("SGML output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSGMLEscaping(t *testing.T) {
+	obj := mheg.NewTextContent(id(1), `tricky <>&" content`)
+	obj.Info.Name = `a<b & "c"`
+	text, err := SGML().Encode(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SGML().Decode(text)
+	if err != nil {
+		t.Fatalf("decode escaped: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(got, obj) {
+		t.Error("escaped object did not round trip")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"asn1", "sgml"} {
+		enc, err := ByName(name)
+		if err != nil || enc.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, enc, err)
+		}
+	}
+	if _, err := ByName("xml"); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+}
+
+func TestContainerDepthLimit(t *testing.T) {
+	// Build a container nested beyond the depth limit and check the
+	// decoder rejects rather than recursing unboundedly.
+	inner := mheg.Object(mheg.NewTextContent(id(999), "core"))
+	for i := 0; i < maxContainerDepth+2; i++ {
+		inner = mheg.NewContainer(id(uint32(100+i)), inner)
+	}
+	data, err := ASN1().Encode(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ASN1().Decode(data); err == nil {
+		t.Error("over-deep container decoded")
+	}
+}

@@ -1,0 +1,403 @@
+package codec
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"time"
+
+	"mits/internal/markup"
+	"mits/internal/media"
+	"mits/internal/mheg"
+)
+
+// sgmlEncoding is a tagged-text encoding in the spirit of the MHEG SGML
+// notation: verbose, self-describing, diffable — the format authoring
+// tools exchange, while the binary form goes on the wire.
+type sgmlEncoding struct{}
+
+func (sgmlEncoding) Name() string { return "sgml" }
+
+func (sgmlEncoding) Encode(o mheg.Object) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: refusing to encode invalid object: %w", err)
+	}
+	el, err := objectToElement(o)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(el.String()), nil
+}
+
+func (sgmlEncoding) Decode(data []byte) (mheg.Object, error) {
+	el, err := markup.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	o, err := elementToObject(el, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: decoded object invalid: %w", err)
+	}
+	return o, nil
+}
+
+// ---- object → element ----
+
+var classTags = map[mheg.ClassID]string{
+	mheg.ClassContent:            "content",
+	mheg.ClassMultiplexedContent: "mux-content",
+	mheg.ClassComposite:          "composite",
+	mheg.ClassScript:             "script",
+	mheg.ClassLink:               "link",
+	mheg.ClassAction:             "action",
+	mheg.ClassContainer:          "container",
+	mheg.ClassDescriptor:         "descriptor",
+}
+
+var tagClasses = func() map[string]mheg.ClassID {
+	m := make(map[string]mheg.ClassID, len(classTags))
+	for k, v := range classTags {
+		m[v] = k
+	}
+	return m
+}()
+
+func commonToElement(el *markup.Element, c *mheg.Common) {
+	el.Set("std", mheg.StandardID)
+	el.SetInt("ver", mheg.Version)
+	el.Set("app", c.ID.App)
+	el.SetInt("num", int64(c.ID.Num))
+	el.Set("name", c.Info.Name)
+	el.Set("owner", c.Info.Owner)
+	el.Set("version", c.Info.Version)
+	el.Set("date", c.Info.Date)
+	el.Set("copyright", c.Info.Copyright)
+	el.Set("comments", c.Info.Comments)
+	for _, kw := range c.Info.Keywords {
+		// Keywords travel as attribute values: element text would lose
+		// leading/trailing whitespace to markup normalization.
+		k := markup.New("keyword")
+		k.Attrs["v"] = kw
+		el.Add(k)
+	}
+}
+
+func elementToCommon(el *markup.Element, class mheg.ClassID) (mheg.Common, error) {
+	if std := el.Attr("std"); std != mheg.StandardID {
+		return mheg.Common{}, fmt.Errorf("codec: standard id %q, want %q", std, mheg.StandardID)
+	}
+	c := mheg.Common{Class: class, ID: mheg.ID{App: el.Attr("app"), Num: uint32(el.AttrInt("num"))}}
+	c.Info.Name = el.Attr("name")
+	c.Info.Owner = el.Attr("owner")
+	c.Info.Version = el.Attr("version")
+	c.Info.Date = el.Attr("date")
+	c.Info.Copyright = el.Attr("copyright")
+	c.Info.Comments = el.Attr("comments")
+	for _, k := range el.Children("keyword") {
+		c.Info.Keywords = append(c.Info.Keywords, k.Attr("v"))
+	}
+	return c, nil
+}
+
+func idElement(name string, id mheg.ID) *markup.Element {
+	el := markup.New(name)
+	el.Set("app", id.App)
+	el.SetInt("num", int64(id.Num))
+	return el
+}
+
+func elementID(el *markup.Element) mheg.ID {
+	return mheg.ID{App: el.Attr("app"), Num: uint32(el.AttrInt("num"))}
+}
+
+func valueAttrs(el *markup.Element, prefix string, v mheg.Value) {
+	el.SetInt(prefix+"kind", int64(v.Kind))
+	switch v.Kind {
+	case mheg.ValueInt:
+		el.SetInt(prefix+"int", v.Int)
+	case mheg.ValueBool:
+		el.Set(prefix+"bool", strconv.FormatBool(v.Bool))
+	case mheg.ValueString:
+		// Mark presence explicitly so empty strings survive.
+		el.Attrs[prefix+"str"] = v.Str
+	}
+}
+
+func attrsValue(el *markup.Element, prefix string) mheg.Value {
+	switch mheg.ValueKind(el.AttrInt(prefix + "kind")) {
+	case mheg.ValueInt:
+		return mheg.IntValue(el.AttrInt(prefix + "int"))
+	case mheg.ValueBool:
+		return mheg.BoolValue(el.Attr(prefix+"bool") == "true")
+	case mheg.ValueString:
+		return mheg.StringValue(el.Attr(prefix + "str"))
+	default:
+		return mheg.Value{}
+	}
+}
+
+func conditionElement(name string, c mheg.Condition) *markup.Element {
+	el := idElement(name, c.Source)
+	el.SetInt("attr", int64(c.Attr))
+	el.SetInt("op", int64(c.Op))
+	valueAttrs(el, "v", c.Value)
+	return el
+}
+
+func elementCondition(el *markup.Element) mheg.Condition {
+	return mheg.Condition{
+		Source: elementID(el),
+		Attr:   mheg.StatusAttr(el.AttrInt("attr")),
+		Op:     mheg.CompareOp(el.AttrInt("op")),
+		Value:  attrsValue(el, "v"),
+	}
+}
+
+func elementaryElement(a mheg.ElementaryAction) *markup.Element {
+	el := markup.New("do")
+	el.SetInt("op", int64(a.Op))
+	el.SetInt("delay", int64(a.Delay))
+	el.Set("auxapp", a.TargetAux.App)
+	el.SetInt("auxnum", int64(a.TargetAux.Num))
+	for _, t := range a.Targets {
+		el.Add(idElement("target", t))
+	}
+	for _, v := range a.Args {
+		arg := markup.New("arg")
+		valueAttrs(arg, "v", v)
+		el.Add(arg)
+	}
+	return el
+}
+
+func elementElementary(el *markup.Element) mheg.ElementaryAction {
+	a := mheg.ElementaryAction{
+		Op:        mheg.ActionOp(el.AttrInt("op")),
+		Delay:     time.Duration(el.AttrInt("delay")),
+		TargetAux: mheg.ID{App: el.Attr("auxapp"), Num: uint32(el.AttrInt("auxnum"))},
+	}
+	for _, t := range el.Children("target") {
+		a.Targets = append(a.Targets, elementID(t))
+	}
+	for _, arg := range el.Children("arg") {
+		a.Args = append(a.Args, attrsValue(arg, "v"))
+	}
+	return a
+}
+
+func contentFieldsToElement(el *markup.Element, c *mheg.Content) {
+	el.Set("coding", string(c.Coding))
+	el.Set("ref", c.ContentRef)
+	el.SetInt("w", int64(c.OrigSize.W))
+	el.SetInt("h", int64(c.OrigSize.H))
+	el.SetInt("duration", int64(c.OrigDuration))
+	el.SetInt("volume", int64(c.OrigVolume))
+	el.Set("channel", c.Channel)
+	if len(c.Inline) > 0 {
+		d := markup.New("data")
+		d.Text = base64.StdEncoding.EncodeToString(c.Inline)
+		el.Add(d)
+	}
+}
+
+func elementToContentFields(el *markup.Element, c *mheg.Content) error {
+	c.Coding = media.Coding(el.Attr("coding"))
+	c.ContentRef = el.Attr("ref")
+	c.OrigSize = mheg.Size{W: int(el.AttrInt("w")), H: int(el.AttrInt("h"))}
+	c.OrigDuration = time.Duration(el.AttrInt("duration"))
+	c.OrigVolume = int(el.AttrInt("volume"))
+	c.Channel = el.Attr("channel")
+	if d := el.First("data"); d != nil {
+		raw, err := base64.StdEncoding.DecodeString(d.Text)
+		if err != nil {
+			return fmt.Errorf("codec: bad base64 content data: %w", err)
+		}
+		c.Inline = raw
+	}
+	return nil
+}
+
+func objectToElement(o mheg.Object) (*markup.Element, error) {
+	tag, ok := classTags[o.Base().Class]
+	if !ok {
+		return nil, fmt.Errorf("codec: cannot encode class %v", o.Base().Class)
+	}
+	el := markup.New(tag)
+	commonToElement(el, o.Base())
+	switch v := o.(type) {
+	case *mheg.Content:
+		contentFieldsToElement(el, v)
+	case *mheg.MultiplexedContent:
+		contentFieldsToElement(el, &v.Content)
+		for _, s := range v.Streams {
+			se := markup.New("stream")
+			se.SetInt("id", int64(s.StreamID))
+			se.SetInt("class", int64(s.Class))
+			se.Set("coding", string(s.Coding))
+			el.Add(se)
+		}
+	case *mheg.Composite:
+		for _, id := range v.Components {
+			el.Add(idElement("component", id))
+		}
+		for _, id := range v.Links {
+			el.Add(idElement("clink", id))
+		}
+		if !v.StartUp.Zero() {
+			el.Add(idElement("startup", v.StartUp))
+		}
+	case *mheg.Script:
+		el.Set("language", v.Language)
+		if len(v.Source) > 0 {
+			d := markup.New("source")
+			d.Text = base64.StdEncoding.EncodeToString(v.Source)
+			el.Add(d)
+		}
+	case *mheg.Link:
+		el.Add(conditionElement("trigger", v.Trigger))
+		for _, c := range v.Additional {
+			el.Add(conditionElement("cond", c))
+		}
+		if !v.Effect.Zero() {
+			el.Add(idElement("effect", v.Effect))
+		}
+		for _, a := range v.Inline {
+			el.Add(elementaryElement(a))
+		}
+	case *mheg.Action:
+		for _, a := range v.Items {
+			el.Add(elementaryElement(a))
+		}
+	case *mheg.Container:
+		for _, item := range v.Items {
+			kid, err := objectToElement(item)
+			if err != nil {
+				return nil, err
+			}
+			el.Add(kid)
+		}
+	case *mheg.Descriptor:
+		el.Set("readme", v.ReadMe)
+		for _, id := range v.Describes {
+			el.Add(idElement("describes", id))
+		}
+		for _, n := range v.Needs {
+			ne := markup.New("need")
+			ne.Set("coding", string(n.Coding))
+			ne.SetInt("bitrate", int64(n.BitRate))
+			ne.SetInt("memkb", int64(n.MemoryKB))
+			el.Add(ne)
+		}
+	default:
+		return nil, fmt.Errorf("codec: cannot encode %T", o)
+	}
+	return el, nil
+}
+
+func elementToObject(el *markup.Element, depth int) (mheg.Object, error) {
+	if depth > maxContainerDepth {
+		return nil, fmt.Errorf("codec: container nesting exceeds %d", maxContainerDepth)
+	}
+	class, ok := tagClasses[el.Name]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown object tag <%s>", el.Name)
+	}
+	common, err := elementToCommon(el, class)
+	if err != nil {
+		return nil, err
+	}
+	switch class {
+	case mheg.ClassContent:
+		c := &mheg.Content{Common: common}
+		if err := elementToContentFields(el, c); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case mheg.ClassMultiplexedContent:
+		m := &mheg.MultiplexedContent{Content: mheg.Content{Common: common}}
+		if err := elementToContentFields(el, &m.Content); err != nil {
+			return nil, err
+		}
+		for _, s := range el.Children("stream") {
+			m.Streams = append(m.Streams, mheg.StreamDesc{
+				StreamID: int(s.AttrInt("id")),
+				Class:    media.Class(s.AttrInt("class")),
+				Coding:   media.Coding(s.Attr("coding")),
+			})
+		}
+		return m, nil
+	case mheg.ClassComposite:
+		c := &mheg.Composite{Common: common}
+		for _, k := range el.Children("component") {
+			c.Components = append(c.Components, elementID(k))
+		}
+		for _, k := range el.Children("clink") {
+			c.Links = append(c.Links, elementID(k))
+		}
+		if s := el.First("startup"); s != nil {
+			c.StartUp = elementID(s)
+		}
+		return c, nil
+	case mheg.ClassScript:
+		s := &mheg.Script{Common: common, Language: el.Attr("language")}
+		if d := el.First("source"); d != nil {
+			raw, err := base64.StdEncoding.DecodeString(d.Text)
+			if err != nil {
+				return nil, fmt.Errorf("codec: bad base64 script source: %w", err)
+			}
+			s.Source = raw
+		}
+		return s, nil
+	case mheg.ClassLink:
+		l := &mheg.Link{Common: common}
+		if tr := el.First("trigger"); tr != nil {
+			l.Trigger = elementCondition(tr)
+		}
+		for _, c := range el.Children("cond") {
+			l.Additional = append(l.Additional, elementCondition(c))
+		}
+		if e := el.First("effect"); e != nil {
+			l.Effect = elementID(e)
+		}
+		for _, d := range el.Children("do") {
+			l.Inline = append(l.Inline, elementElementary(d))
+		}
+		return l, nil
+	case mheg.ClassAction:
+		a := &mheg.Action{Common: common}
+		for _, d := range el.Children("do") {
+			a.Items = append(a.Items, elementElementary(d))
+		}
+		return a, nil
+	case mheg.ClassContainer:
+		c := &mheg.Container{Common: common}
+		for _, k := range el.Kids {
+			if k.Name == "keyword" {
+				continue
+			}
+			item, err := elementToObject(k, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			c.Items = append(c.Items, item)
+		}
+		return c, nil
+	case mheg.ClassDescriptor:
+		d := &mheg.Descriptor{Common: common, ReadMe: el.Attr("readme")}
+		for _, k := range el.Children("describes") {
+			d.Describes = append(d.Describes, elementID(k))
+		}
+		for _, n := range el.Children("need") {
+			d.Needs = append(d.Needs, mheg.ResourceNeed{
+				Coding:   media.Coding(n.Attr("coding")),
+				BitRate:  int(n.AttrInt("bitrate")),
+				MemoryKB: int(n.AttrInt("memkb")),
+			})
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("codec: unhandled class %v", class)
+}

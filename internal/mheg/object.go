@@ -1,0 +1,170 @@
+// Package mheg implements the MHEG (ISO/IEC 13522-1) object model that
+// MITS uses as its information-interchange format (§2.2.2, §3.3).
+//
+// The package covers the eight classes the standard defines — content,
+// multiplexed content, composite, script, link, action, container and
+// descriptor — plus the basic class library of Fig 4.5 (typed content
+// constructors, generic values). Interchange encodings live in
+// mheg/codec; run-time semantics (form (b)/(c) objects, channels,
+// sockets, link firing) live in mheg/engine.
+package mheg
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// StandardID is the registered identifier of the MHEG standard carried
+// by every object ("the standard identifier attribute '19' which stands
+// for MHEG", §4.4.1).
+const StandardID = "19"
+
+// Version is the standard version encoded in interchanged objects.
+const Version = 1
+
+// ClassID enumerates the MHEG object classes.
+type ClassID int
+
+// The eight interchanged classes of ISO/IEC 13522-1.
+const (
+	ClassContent ClassID = iota + 1
+	ClassMultiplexedContent
+	ClassComposite
+	ClassScript
+	ClassLink
+	ClassAction
+	ClassContainer
+	ClassDescriptor
+)
+
+var classIDNames = map[ClassID]string{
+	ClassContent:            "content",
+	ClassMultiplexedContent: "multiplexed-content",
+	ClassComposite:          "composite",
+	ClassScript:             "script",
+	ClassLink:               "link",
+	ClassAction:             "action",
+	ClassContainer:          "container",
+	ClassDescriptor:         "descriptor",
+}
+
+func (c ClassID) String() string {
+	if s, ok := classIDNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ClassID(%d)", int(c))
+}
+
+// ID is the MHEG identifier of an object: an application namespace plus
+// an object number, unique within the namespace.
+type ID struct {
+	App string
+	Num uint32
+}
+
+// Zero reports whether the ID is unset.
+func (id ID) Zero() bool { return id == ID{} }
+
+func (id ID) String() string { return fmt.Sprintf("%s:%d", id.App, id.Num) }
+
+// GeneralInfo carries the optional descriptive attributes every MHEG
+// object may have (§4.4.1).
+type GeneralInfo struct {
+	Name      string
+	Owner     string
+	Version   string
+	Date      string // ISO date of authoring
+	Keywords  []string
+	Copyright string
+	Comments  string
+}
+
+// Common holds the attributes shared by all MHEG classes. Every class
+// struct embeds it.
+type Common struct {
+	Class ClassID
+	ID    ID
+	Info  GeneralInfo
+}
+
+// Base returns the embedded common attributes; it makes every class
+// satisfy the Object interface.
+func (c *Common) Base() *Common { return c }
+
+func (c *Common) validateCommon() error {
+	if c.ID.Zero() {
+		return errors.New("object has zero MHEG identifier")
+	}
+	if c.ID.App == "" {
+		return fmt.Errorf("object %v has empty application namespace", c.ID)
+	}
+	return nil
+}
+
+// Object is any interchangeable MHEG object.
+type Object interface {
+	Base() *Common
+	// Validate checks class-specific invariants. Engines validate every
+	// object at decode time before it becomes a form (b) object.
+	Validate() error
+}
+
+// ValueKind tags the dynamic type of a Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValueNone ValueKind = iota
+	ValueInt
+	ValueBool
+	ValueString
+)
+
+// Value is a generic typed value used by generic-value content objects,
+// action arguments and link conditions ("a value may be stored in the
+// data for a comparison, an assignment or a presentation", §4.4.1).
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Bool bool
+	Str  string
+}
+
+// IntValue builds an integer Value.
+func IntValue(v int64) Value { return Value{Kind: ValueInt, Int: v} }
+
+// BoolValue builds a boolean Value.
+func BoolValue(v bool) Value { return Value{Kind: ValueBool, Bool: v} }
+
+// StringValue builds a string Value.
+func StringValue(v string) Value { return Value{Kind: ValueString, Str: v} }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool { return v == o }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case ValueInt:
+		return fmt.Sprintf("%d", v.Int)
+	case ValueBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case ValueString:
+		return v.Str
+	default:
+		return "<none>"
+	}
+}
+
+// Size is a 2-D extent in generic units (§4.3.3's layout structure uses
+// generic values that the presentation site maps to the physical
+// screen).
+type Size struct{ W, H int }
+
+// Point is a 2-D position in generic units.
+type Point struct{ X, Y int }
+
+// Rational timing helper: durations inside MHEG objects are generic
+// time units; MITS uses nanoseconds throughout so they interoperate
+// with the simulation clock directly.
+type Duration = time.Duration

@@ -1,0 +1,404 @@
+package navigator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mits/internal/media"
+	"mits/internal/mediastore"
+	"mits/internal/mheg"
+	"mits/internal/mheg/codec"
+	"mits/internal/mheg/engine"
+	"mits/internal/school"
+	"mits/internal/sim"
+	"mits/internal/transport"
+)
+
+// Capabilities describes the presentation site's resources, matched
+// against courseware descriptor objects before a session starts — the
+// negotiation of §3.1.2.2 ("a correspondence between the resources
+// required to present the objects and the resources available to the
+// system").
+type Capabilities struct {
+	BitRate  int // sustainable decode rate, bits/s
+	MemoryKB int
+	Codings  map[media.Coding]bool
+}
+
+// DefaultCapabilities describes the thesis prototype's multimedia PC:
+// every coding supported, MPEG-1-class decode rate, 8 MB of buffers.
+func DefaultCapabilities() Capabilities {
+	return Capabilities{
+		BitRate:  2_000_000,
+		MemoryKB: 8192,
+		Codings: map[media.Coding]bool{
+			media.CodingMPEG: true, media.CodingAVI: true,
+			media.CodingWAV: true, media.CodingMIDI: true,
+			media.CodingJPEG: true, media.CodingASCII: true, media.CodingHTML: true,
+		},
+	}
+}
+
+// Navigator is one student's session with the TeleSchool: the
+// application of Figs 5.3–5.7. It owns an MHEG engine fed from the
+// courseware database and a virtual screen showing the presentation.
+type Navigator struct {
+	clock  *sim.Clock
+	db     transport.DBClient
+	school school.Client
+	engine *engine.Engine
+	screen *Screen
+	caps   Capabilities
+
+	student string // logged-in student number
+
+	courseCode string
+	courseDoc  string
+	sceneRoots map[string]mheg.ID // scene id → composite model
+	rootID     mheg.ID
+	current    string   // current scene id
+	sceneStart sim.Time // when the current scene started
+}
+
+// Options wires a navigator to its services.
+type Options struct {
+	Clock  *sim.Clock
+	DB     transport.Client
+	School transport.Client
+	// Capabilities defaults to DefaultCapabilities().
+	Capabilities *Capabilities
+}
+
+// New builds a navigator.
+func New(opts Options) *Navigator {
+	if opts.Clock == nil {
+		opts.Clock = sim.NewClock()
+	}
+	n := &Navigator{
+		clock:      opts.Clock,
+		db:         transport.DBClient{C: opts.DB},
+		school:     school.Client{C: opts.School},
+		sceneRoots: make(map[string]mheg.ID),
+		caps:       DefaultCapabilities(),
+	}
+	if opts.Capabilities != nil {
+		n.caps = *opts.Capabilities
+	}
+	n.resetEngine(nil)
+	return n
+}
+
+// resetEngine replaces the engine and screen — the navigator starts
+// every course in a clean presentation environment (form (b)/(c)
+// objects "are assumed to be extinct whenever the presentation
+// environment vanishes", §2.2.2.2).
+func (n *Navigator) resetEngine(enc codec.Encoding) {
+	opts := []engine.Option{
+		engine.WithResolver(n.db),
+		engine.WithRenderer(engine.RendererFunc(n.render)),
+	}
+	if enc != nil {
+		opts = append(opts, engine.WithEncoding(enc))
+	}
+	n.engine = engine.New(n.clock, opts...)
+	n.screen = NewScreen(n.engine.Model)
+}
+
+func (n *Navigator) render(ev engine.Event) {
+	n.screen.RenderEvent(ev)
+	if ev.Kind == engine.EvRan {
+		if obj, ok := n.engine.Model(ev.Model); ok {
+			if name := obj.Base().Info.Name; strings.HasPrefix(name, "scene:") || strings.HasPrefix(name, "page:") {
+				n.current = name[strings.Index(name, ":")+1:]
+				n.sceneStart = n.clock.Now()
+			}
+		}
+	}
+}
+
+// Clock exposes the session clock.
+func (n *Navigator) Clock() *sim.Clock { return n.clock }
+
+// Screen exposes the virtual display.
+func (n *Navigator) Screen() *Screen { return n.screen }
+
+// Engine exposes the underlying MHEG engine (for experiments).
+func (n *Navigator) Engine() *engine.Engine { return n.engine }
+
+// ---- administration (Figs 5.3, 5.4, 5.6) ----
+
+// Register creates the student's school record and logs in.
+func (n *Navigator) Register(p school.Profile) (string, error) {
+	num, err := n.school.Register(p)
+	if err != nil {
+		return "", err
+	}
+	n.student = num
+	return num, nil
+}
+
+// Login enters the school with an existing student number.
+func (n *Navigator) Login(number string) error {
+	if _, err := n.school.Student(number); err != nil {
+		return err
+	}
+	n.student = number
+	return nil
+}
+
+// Student reports the logged-in student number.
+func (n *Navigator) Student() string { return n.student }
+
+var errNotLoggedIn = errors.New("navigator: no student logged in")
+
+// UpdateProfile changes the student's personal data (Fig 5.6).
+func (n *Navigator) UpdateProfile(p school.Profile) error {
+	if n.student == "" {
+		return errNotLoggedIn
+	}
+	return n.school.UpdateProfile(n.student, p)
+}
+
+// Programs lists the school's programs.
+func (n *Navigator) Programs() ([]string, error) { return n.school.Programs() }
+
+// SchoolStats fetches enrollment statistics — "some statistics about
+// the school, the course and the students themselves should also be
+// available upon the students demand" (§5.2.1).
+func (n *Navigator) SchoolStats() (school.Statistics, error) { return n.school.Stats() }
+
+// CoursesIn lists a program's courses (Fig 5.4d).
+func (n *Navigator) CoursesIn(program string) ([]school.Course, error) {
+	return n.school.CoursesIn(program)
+}
+
+// CourseIntroduction fetches a course's multimedia introduction clip
+// ("by selecting a course, then clicking the 'introduction' button, a
+// video clip is going to be shown").
+func (n *Navigator) CourseIntroduction(code string) (*mediastore.ContentRecord, error) {
+	c, err := n.school.Course(code)
+	if err != nil {
+		return nil, err
+	}
+	if c.IntroRef == "" {
+		return nil, fmt.Errorf("navigator: course %s has no introduction", code)
+	}
+	return n.db.GetContent(c.IntroRef)
+}
+
+// Enroll registers the student for a course.
+func (n *Navigator) Enroll(code string) error {
+	if n.student == "" {
+		return errNotLoggedIn
+	}
+	return n.school.Enroll(n.student, code)
+}
+
+// ---- classroom presentation (Fig 5.5) ----
+
+// StartCourse fetches the course document, loads it into a fresh
+// engine, and begins presentation — resuming at the stored stop
+// position when one exists ("the courseware can automatically start the
+// course presentation at the right place when a student enters again").
+func (n *Navigator) StartCourse(code string) error {
+	if n.student == "" {
+		return errNotLoggedIn
+	}
+	course, err := n.school.Course(code)
+	if err != nil {
+		return err
+	}
+	rec, err := n.db.GetSelectedDoc(course.Document)
+	if err != nil {
+		return fmt.Errorf("navigator: fetch courseware: %w", err)
+	}
+	enc, err := codec.ByName(rec.Encoding)
+	if err != nil {
+		return err
+	}
+	n.resetEngine(enc)
+	n.sceneRoots = make(map[string]mheg.ID)
+	n.current = ""
+	rootID, err := n.engine.Ingest(rec.Data)
+	if err != nil {
+		return fmt.Errorf("navigator: ingest courseware: %w", err)
+	}
+	if err := n.negotiate(rootID); err != nil {
+		return err
+	}
+	n.indexScenes(rootID)
+	n.courseCode = code
+	n.courseDoc = course.Document
+
+	rt, err := n.engine.NewRT(n.rootID, "main")
+	if err != nil {
+		return err
+	}
+	// Resume support.
+	if pos, found, err := n.school.GetResume(n.student, code); err == nil && found {
+		if sceneID, ok := n.sceneRoots[pos.Scene]; ok {
+			// Instantiate everything (NewRT above), then enter the
+			// stored scene directly instead of running the root.
+			rts := n.engine.RTsOf(sceneID)
+			if len(rts) > 0 {
+				n.engine.Run(rts[0])
+				return nil
+			}
+		}
+	}
+	n.engine.Run(rt)
+	return nil
+}
+
+// negotiate checks the courseware's descriptor objects against the
+// site's capabilities before presentation (§3.1.2.2): a session only
+// starts when every declared resource need is satisfiable.
+func (n *Navigator) negotiate(containerID mheg.ID) error {
+	obj, ok := n.engine.Model(containerID)
+	if !ok {
+		return nil
+	}
+	container, isContainer := obj.(*mheg.Container)
+	if !isContainer {
+		return nil
+	}
+	for _, item := range container.Items {
+		desc, isDesc := item.(*mheg.Descriptor)
+		if !isDesc {
+			continue
+		}
+		if ok, why := desc.Satisfiable(n.caps.BitRate, n.caps.MemoryKB, n.caps.Codings); !ok {
+			return fmt.Errorf("navigator: this site cannot present the courseware: %s", why)
+		}
+	}
+	return nil
+}
+
+// indexScenes scans the interchanged container for the per-scene
+// composites (the compiler names them "scene:<id>" / "page:<id>") and
+// the course root, which the compiler appends as the container's last
+// composite.
+func (n *Navigator) indexScenes(containerID mheg.ID) {
+	n.rootID = containerID
+	root, ok := n.engine.Model(containerID)
+	if !ok {
+		return
+	}
+	container, isContainer := root.(*mheg.Container)
+	if !isContainer {
+		return // a bare composite was interchanged; run it directly
+	}
+	for _, item := range container.Items {
+		comp, isComp := item.(*mheg.Composite)
+		if !isComp {
+			continue
+		}
+		name := comp.Info.Name
+		switch {
+		case strings.HasPrefix(name, "scene:"):
+			n.sceneRoots[strings.TrimPrefix(name, "scene:")] = comp.ID
+		case strings.HasPrefix(name, "page:"):
+			n.sceneRoots[strings.TrimPrefix(name, "page:")] = comp.ID
+		default:
+			n.rootID = comp.ID // last plain composite wins: the course root
+		}
+	}
+}
+
+// CurrentScene reports the scene/page the student is in and how long
+// they have been there.
+func (n *Navigator) CurrentScene() (string, time.Duration) {
+	return n.current, n.clock.Now().Sub(n.sceneStart)
+}
+
+// Scenes lists the course's scene ids, sorted.
+func (n *Navigator) Scenes() []string {
+	out := make([]string, 0, len(n.sceneRoots))
+	for s := range n.sceneRoots {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Click activates the on-screen button with the given label — the
+// navigator's single interaction verb, standing in for the mouse.
+func (n *Navigator) Click(label string) error {
+	it, ok := n.screen.Find(label)
+	if !ok {
+		return fmt.Errorf("navigator: no button %q on screen", label)
+	}
+	if !it.Kind.Clickable() {
+		return fmt.Errorf("navigator: %q is %s, not a button or hot word", label, it.Kind)
+	}
+	n.engine.Select(it.RT)
+	return nil
+}
+
+// GotoScene jumps the presentation to a scene by id (used by bookmarks).
+func (n *Navigator) GotoScene(sceneID string) error {
+	id, ok := n.sceneRoots[sceneID]
+	if !ok {
+		return fmt.Errorf("navigator: unknown scene %q", sceneID)
+	}
+	if cur, ok := n.sceneRoots[n.current]; ok {
+		for _, rt := range n.engine.RTsOf(cur) {
+			n.engine.Stop(rt)
+		}
+	}
+	rts := n.engine.RTsOf(id)
+	if len(rts) == 0 {
+		return fmt.Errorf("navigator: scene %q not instantiated", sceneID)
+	}
+	n.engine.Run(rts[0])
+	return nil
+}
+
+// Bookmark saves the current position under a label.
+func (n *Navigator) Bookmark(label string) error {
+	if n.student == "" {
+		return errNotLoggedIn
+	}
+	scene, at := n.CurrentScene()
+	return n.school.AddBookmark(n.student, school.Bookmark{
+		Label: label, Course: n.courseCode, Scene: scene, At: at,
+	})
+}
+
+// ExitCourse stores the stop position and records a session
+// ("some important information such as the stop position of the
+// courseware presentation is to be automatically stored", §5.4).
+func (n *Navigator) ExitCourse() error {
+	if n.student == "" || n.courseCode == "" {
+		return errors.New("navigator: no course in progress")
+	}
+	scene, at := n.CurrentScene()
+	if err := n.school.SetResume(n.student, n.courseCode, scene, at); err != nil {
+		return err
+	}
+	if _, err := n.school.RecordSession(n.student, n.courseCode); err != nil {
+		return err
+	}
+	n.courseCode = ""
+	return nil
+}
+
+// ---- library browsing (Fig 5.7) ----
+
+// LibraryTree fetches the library's keyword hierarchy.
+func (n *Navigator) LibraryTree() (*mediastore.KeywordNode, error) {
+	return n.db.GetKeywordTree()
+}
+
+// SearchLibrary finds documents by keyword.
+func (n *Navigator) SearchLibrary(keyword string) ([]string, error) {
+	return n.db.GetDocByKeyword(keyword)
+}
+
+// ReadLibrary fetches a library holding's content by reference.
+func (n *Navigator) ReadLibrary(ref string) (*mediastore.ContentRecord, error) {
+	return n.db.GetContent(ref)
+}

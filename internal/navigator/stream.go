@@ -1,0 +1,135 @@
+package navigator
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/atm"
+	"mits/internal/media"
+	"mits/internal/sim"
+)
+
+// This file implements real-time video streaming from the content
+// server to the navigator over an ATM connection — the capability the
+// paper's broadband choice exists for (§3.3: "for obtaining good
+// quality of service in real time presentation of dynamic media such as
+// video and audio, we suggest broadband network to be chosen").
+//
+// The server paces MPEG frames at the stream's frame rate; the player
+// buffers a start-up window and then consumes one frame per frame
+// period, counting a deadline miss whenever the next frame has not
+// arrived by its presentation time. Experiment E17 runs this over an
+// ATM CBR contract and over a congested best-effort path and compares
+// miss rates and jitter.
+
+// StreamStats summarizes one playback.
+type StreamStats struct {
+	Frames         int
+	Delivered      int
+	DeadlineMisses int
+	StartupDelay   time.Duration
+	// Jitter is the per-frame arrival deviation from the ideal paced
+	// schedule.
+	Jitter sim.Series
+}
+
+// MissRate reports the fraction of frames missing their deadline.
+func (s *StreamStats) MissRate() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.Frames)
+}
+
+// StreamPlayer receives a paced MPEG stream on an ATM connection and
+// measures playback quality.
+type StreamPlayer struct {
+	clock   *sim.Clock
+	buffer  time.Duration // start-up buffering window
+	stats   StreamStats
+	started bool
+	base    sim.Time // arrival time of the first frame
+
+	frameDur time.Duration
+	arrived  []sim.Time // per-frame arrival instants
+	expected int
+}
+
+// NewStreamPlayer builds a player with the given start-up buffer.
+func NewStreamPlayer(clock *sim.Clock, buffer time.Duration) *StreamPlayer {
+	return &StreamPlayer{clock: clock, buffer: buffer}
+}
+
+// Deliver implements the connection's deliver callback: one PDU per
+// frame.
+func (p *StreamPlayer) Deliver(pdu []byte, _, now sim.Time) {
+	if !p.started {
+		p.started = true
+		p.base = now
+	}
+	p.arrived = append(p.arrived, now)
+	p.stats.Delivered++
+}
+
+// Finish scores the playback once the clock has drained: frame i's
+// presentation deadline is firstArrival + buffer + i·frameDur.
+func (p *StreamPlayer) Finish(frames []media.Frame) *StreamStats {
+	p.stats.Frames = len(frames)
+	if len(frames) == 0 || !p.started {
+		p.stats.DeadlineMisses = p.stats.Frames
+		return &p.stats
+	}
+	p.stats.StartupDelay = p.buffer
+	playStart := p.base.Add(p.buffer)
+	for i, f := range frames {
+		deadline := playStart.Add(f.PTS)
+		if i >= len(p.arrived) {
+			p.stats.DeadlineMisses++
+			continue
+		}
+		if p.arrived[i] > deadline {
+			p.stats.DeadlineMisses++
+		}
+		// Jitter relative to the paced schedule (first frame anchors).
+		ideal := p.base.Add(f.PTS)
+		dev := p.arrived[i].Sub(ideal)
+		if dev < 0 {
+			dev = -dev
+		}
+		p.stats.Jitter.AddDuration(dev)
+	}
+	return &p.stats
+}
+
+// StreamVideo plays an encoded MPEG object from server to client over
+// the given traffic contract, returning playback statistics. The
+// server sends each frame as one AAL5 message at the frame's PTS; the
+// caller provides a network whose clock will be run to completion.
+func StreamVideo(n *atm.Network, server, client *atm.Host, td atm.TrafficDescriptor, data []byte, buffer time.Duration) (*StreamStats, error) {
+	frames, _, err := media.ParseMPEG(data)
+	if err != nil {
+		return nil, fmt.Errorf("navigator: stream source: %w", err)
+	}
+	player := NewStreamPlayer(n.Clock(), buffer)
+	conn, err := n.Open(server, client, td, atm.OpenOptions{Deliver: player.Deliver})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	// Pace the server: frame i leaves at its PTS. Frames larger than
+	// the AAL5 limit are split (the player counts PDUs per frame, so
+	// send exactly one PDU per frame: cap frame payload).
+	for _, f := range frames {
+		f := f
+		n.Clock().At(sim.Zero.Add(f.PTS), func(sim.Time) {
+			size := f.Size
+			if size > atm.MaxPDUSize {
+				size = atm.MaxPDUSize
+			}
+			conn.Send(make([]byte, size)) //nolint:errcheck // loss shows up as a deadline miss
+		})
+	}
+	n.Clock().Run()
+	return player.Finish(frames), nil
+}

@@ -1,0 +1,135 @@
+// Package sched implements the temporal synchronization structures of
+// MHEG (§2.2.2.3, Fig 2.6) and the time-line structure of the
+// interactive multimedia document model (§4.3.3, Fig 4.4b).
+//
+// Authors describe *when* things happen using temporal relations
+// ("before", "after", "meet" — §4.5.3); the package resolves those
+// relations to absolute offsets where durations are known and compiles
+// the result into MHEG action and link objects that any MHEG engine can
+// execute. Relations to objects of unknown duration (interactive
+// content) compile into conditional links instead of fixed offsets.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/mheg"
+)
+
+// Mode distinguishes the two atomic synchronization relations of
+// Fig 2.6a.
+type Mode int
+
+// Atomic modes.
+const (
+	Serial Mode = iota
+	Parallel
+)
+
+func (m Mode) String() string {
+	if m == Serial {
+		return "serial"
+	}
+	return "parallel"
+}
+
+// Atomic is the simplest relation between exactly two component
+// objects: play together, or one after the other (Fig 2.6a).
+type Atomic struct {
+	Mode Mode
+	A, B mheg.ID
+	// DurA is A's duration, required for Serial composition of objects
+	// whose end cannot be observed; leave 0 to chain on A's finish.
+	DurA time.Duration
+}
+
+// Compile emits the MHEG objects realizing the relation: an action that
+// starts the pieces and, for duration-less serial chaining, a link.
+func (a Atomic) Compile(id mheg.ID) (*mheg.Action, []*mheg.Link, error) {
+	if a.A.Zero() || a.B.Zero() {
+		return nil, nil, fmt.Errorf("sched: atomic relation with zero object id")
+	}
+	switch a.Mode {
+	case Parallel:
+		return mheg.RunAll(id, a.A, a.B), nil, nil
+	case Serial:
+		if a.DurA > 0 {
+			act, err := mheg.RunSequence(id, []time.Duration{0, a.DurA}, a.A, a.B)
+			return act, nil, err
+		}
+		start := mheg.RunAll(id, a.A)
+		link := mheg.OnFinished(mheg.ID{App: id.App, Num: id.Num + 1}, a.A,
+			mheg.Act(mheg.OpNew, a.B), mheg.Act(mheg.OpRun, a.B))
+		return start, []*mheg.Link{link}, nil
+	default:
+		return nil, nil, fmt.Errorf("sched: unknown atomic mode %d", a.Mode)
+	}
+}
+
+// Elementary is the general two-object relation of Fig 2.6b: objects A
+// and B start at offsets T1 and T2 from the composite's activation.
+type Elementary struct {
+	A, B   mheg.ID
+	T1, T2 time.Duration
+}
+
+// Compile emits the offset action.
+func (e Elementary) Compile(id mheg.ID) (*mheg.Action, error) {
+	if e.A.Zero() || e.B.Zero() {
+		return nil, fmt.Errorf("sched: elementary relation with zero object id")
+	}
+	if e.T1 < 0 || e.T2 < 0 {
+		return nil, fmt.Errorf("sched: negative offsets T1=%v T2=%v", e.T1, e.T2)
+	}
+	return mheg.RunSequence(id, []time.Duration{e.T1, e.T2}, e.A, e.B)
+}
+
+// Cyclic repeats an object: each time it finishes it is restarted —
+// "events to be synchronized to some periodic events, such as clock
+// tick" (§2.2.2.3).
+type Cyclic struct {
+	Target mheg.ID
+}
+
+// Compile emits the start action and the restart link.
+func (c Cyclic) Compile(id mheg.ID) (*mheg.Action, *mheg.Link, error) {
+	if c.Target.Zero() {
+		return nil, nil, fmt.Errorf("sched: cyclic relation with zero target")
+	}
+	start := mheg.RunAll(id, c.Target)
+	link := mheg.OnFinished(mheg.ID{App: id.App, Num: id.Num + 1}, c.Target,
+		mheg.Act(mheg.OpStop, c.Target),
+		mheg.Act(mheg.OpRun, c.Target))
+	return start, link, nil
+}
+
+// Chained plays a sequence of objects back to back, each chained on the
+// previous one's finish ("basic objects to be chained together into a
+// new composite object", §2.2.2.3).
+type Chained struct {
+	Sequence []mheg.ID
+}
+
+// Compile emits the start action for the head and one link per hop.
+func (c Chained) Compile(id mheg.ID) (*mheg.Action, []*mheg.Link, error) {
+	if len(c.Sequence) == 0 {
+		return nil, nil, fmt.Errorf("sched: empty chain")
+	}
+	for _, o := range c.Sequence {
+		if o.Zero() {
+			return nil, nil, fmt.Errorf("sched: chain contains zero id")
+		}
+	}
+	start := mheg.RunAll(id, c.Sequence[0])
+	var links []*mheg.Link
+	for i := 0; i+1 < len(c.Sequence); i++ {
+		links = append(links, mheg.OnFinished(
+			mheg.ID{App: id.App, Num: id.Num + 1 + uint32(i)},
+			c.Sequence[i],
+			mheg.Act(mheg.OpNew, c.Sequence[i+1]),
+			mheg.Act(mheg.OpRun, c.Sequence[i+1]),
+		))
+	}
+	return start, links, nil
+}

@@ -1,0 +1,132 @@
+package school
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Billing implements the service the thesis reserves room for in the
+// registration design (§5.2.1: "this leaves some space for the further
+// studying and development of the billing services for the
+// TeleLearning applications"). Course-On-Demand pricing is usage-based:
+// an enrollment fee per course plus a per-session charge, so a student
+// pays for the learning they actually pull on demand.
+
+// Fee configures one course's pricing in cents.
+type Fee struct {
+	EnrollCents  int
+	SessionCents int
+}
+
+// Charge is one line of an invoice.
+type Charge struct {
+	Course      string
+	Description string
+	AmountCents int
+}
+
+// Invoice summarizes what a student owes.
+type Invoice struct {
+	Student      string
+	Charges      []Charge
+	TotalCents   int
+	PaidCents    int
+	BalanceCents int
+}
+
+// SetFee prices a course.
+func (s *School) SetFee(courseCode string, fee Fee) error {
+	if fee.EnrollCents < 0 || fee.SessionCents < 0 {
+		return fmt.Errorf("school: negative fee for %s", courseCode)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.courses[courseCode]; !ok {
+		return fmt.Errorf("%w: course %s", ErrNotFound, courseCode)
+	}
+	if s.fees == nil {
+		s.fees = make(map[string]Fee)
+	}
+	s.fees[courseCode] = fee
+	return nil
+}
+
+// RecordPayment credits a student's account.
+func (s *School) RecordPayment(number string, cents int) error {
+	if cents <= 0 {
+		return fmt.Errorf("school: payment must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.students[number]; !ok {
+		return fmt.Errorf("%w: student %s", ErrNotFound, number)
+	}
+	if s.payments == nil {
+		s.payments = make(map[string]int)
+	}
+	s.payments[number] += cents
+	return nil
+}
+
+// Invoice computes a student's usage-based bill: enrollment fees plus
+// per-session charges for every registered course, less payments.
+func (s *School) Invoice(number string) (Invoice, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.students[number]
+	if !ok {
+		return Invoice{}, fmt.Errorf("%w: student %s", ErrNotFound, number)
+	}
+	inv := Invoice{Student: number}
+	for _, reg := range st.Courses {
+		fee, priced := s.fees[reg.CourseCode]
+		if !priced {
+			continue // free course
+		}
+		if fee.EnrollCents > 0 {
+			inv.Charges = append(inv.Charges, Charge{
+				Course:      reg.CourseCode,
+				Description: "enrollment",
+				AmountCents: fee.EnrollCents,
+			})
+		}
+		if fee.SessionCents > 0 && reg.SessionsDone > 0 {
+			inv.Charges = append(inv.Charges, Charge{
+				Course:      reg.CourseCode,
+				Description: fmt.Sprintf("%d session(s) on demand", reg.SessionsDone),
+				AmountCents: fee.SessionCents * reg.SessionsDone,
+			})
+		}
+	}
+	sort.Slice(inv.Charges, func(i, j int) bool {
+		if inv.Charges[i].Course != inv.Charges[j].Course {
+			return inv.Charges[i].Course < inv.Charges[j].Course
+		}
+		return inv.Charges[i].Description < inv.Charges[j].Description
+	})
+	for _, c := range inv.Charges {
+		inv.TotalCents += c.AmountCents
+	}
+	inv.PaidCents = s.payments[number]
+	inv.BalanceCents = inv.TotalCents - inv.PaidCents
+	return inv, nil
+}
+
+// Revenue totals the school's outstanding and collected amounts.
+func (s *School) Revenue() (billedCents, paidCents int) {
+	s.mu.RLock()
+	numbers := make([]string, 0, len(s.students))
+	for n := range s.students {
+		numbers = append(numbers, n)
+	}
+	s.mu.RUnlock()
+	for _, n := range numbers {
+		inv, err := s.Invoice(n)
+		if err != nil {
+			continue
+		}
+		billedCents += inv.TotalCents
+		paidCents += inv.PaidCents
+	}
+	return billedCents, paidCents
+}

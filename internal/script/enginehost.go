@@ -1,0 +1,218 @@
+package script
+
+import (
+	"fmt"
+	"time"
+
+	"mits/internal/mheg"
+	"mits/internal/mheg/engine"
+	"mits/internal/sim"
+)
+
+// EngineHost adapts an MHEG engine as a script Host: aliases bind to
+// model object ids, verbs map to elementary actions, and status waits
+// subscribe to the engine's render events. This is the bridge that lets
+// a script object "contain complex synchronization taking into account
+// previous user replies" (Fig 2.5).
+type EngineHost struct {
+	E    *engine.Engine
+	Bind map[string]mheg.ID
+	// SayFn receives `say` output; nil discards it.
+	SayFn func(string)
+
+	watchers map[watchKey][]func()
+}
+
+type watchKey struct {
+	model  mheg.ID
+	status string
+}
+
+// NewEngineHost wires a host to an engine with the given alias→object
+// bindings and subscribes to status events.
+func NewEngineHost(e *engine.Engine, bind map[string]mheg.ID) *EngineHost {
+	h := &EngineHost{E: e, Bind: bind, watchers: make(map[watchKey][]func())}
+	e.Subscribe(engine.RendererFunc(h.onEvent))
+	return h
+}
+
+func (h *EngineHost) onEvent(ev engine.Event) {
+	var status string
+	switch ev.Kind {
+	case engine.EvRan, engine.EvResumed:
+		status = "running"
+	case engine.EvFinished:
+		status = "finished"
+	case engine.EvStopped:
+		status = "stopped"
+	default:
+		return
+	}
+	k := watchKey{model: ev.Model, status: status}
+	fns := h.watchers[k]
+	if len(fns) == 0 {
+		return
+	}
+	delete(h.watchers, k)
+	for _, f := range fns {
+		f()
+	}
+}
+
+func (h *EngineHost) resolve(alias string) (mheg.ID, error) {
+	id, ok := h.Bind[alias]
+	if !ok {
+		return mheg.ID{}, fmt.Errorf("unbound object alias %q", alias)
+	}
+	return id, nil
+}
+
+// After implements Host on the engine's clock.
+func (h *EngineHost) After(d time.Duration, f func()) {
+	h.E.Clock().After(d, func(sim.Time) { f() })
+}
+
+// Apply implements Host.
+func (h *EngineHost) Apply(verb, alias, channel string) error {
+	id, err := h.resolve(alias)
+	if err != nil {
+		return err
+	}
+	ensureRT := func() error {
+		if len(h.E.RTsOf(id)) == 0 {
+			if _, err := h.E.NewRT(id, channel); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch verb {
+	case "new":
+		_, err := h.E.NewRT(id, channel)
+		return err
+	case "run":
+		if err := ensureRT(); err != nil {
+			return err
+		}
+		for _, rt := range h.E.RTsOf(id) {
+			h.E.Run(rt)
+		}
+	case "stopobj":
+		for _, rt := range h.E.RTsOf(id) {
+			h.E.Stop(rt)
+		}
+	case "pause":
+		for _, rt := range h.E.RTsOf(id) {
+			h.E.Pause(rt)
+		}
+	case "resume":
+		for _, rt := range h.E.RTsOf(id) {
+			h.E.Resume(rt)
+		}
+	case "delete":
+		for _, rt := range h.E.RTsOf(id) {
+			h.E.Delete(rt)
+		}
+	case "show", "hide":
+		visible := verb == "show"
+		if err := ensureRT(); err != nil {
+			return err
+		}
+		h.applyVisible(id, visible)
+	default:
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+	return nil
+}
+
+func (h *EngineHost) applyVisible(id mheg.ID, visible bool) {
+	h.E.ApplyItems([]mheg.ElementaryAction{
+		mheg.Act(mheg.OpSetVisible, id, mheg.BoolValue(visible)),
+	})
+}
+
+// Status implements Host.
+func (h *EngineHost) Status(alias string) (string, error) {
+	id, err := h.resolve(alias)
+	if err != nil {
+		return "", err
+	}
+	rts := h.E.RTsOf(id)
+	if len(rts) == 0 {
+		return "stopped", nil
+	}
+	rt, ok := h.E.RT(rts[0])
+	if !ok {
+		return "stopped", nil
+	}
+	switch rt.Running {
+	case mheg.StatusRunning:
+		return "running", nil
+	case mheg.StatusFinished:
+		return "finished", nil
+	default:
+		return "stopped", nil
+	}
+}
+
+// Reply implements Host: the object's selection state as text.
+func (h *EngineHost) Reply(alias string) (string, error) {
+	id, err := h.resolve(alias)
+	if err != nil {
+		return "", err
+	}
+	rts := h.E.RTsOf(id)
+	if len(rts) == 0 {
+		return "", nil
+	}
+	rt, ok := h.E.RT(rts[0])
+	if !ok {
+		return "", nil
+	}
+	if rt.Selection.Kind == mheg.ValueNone {
+		return "", nil
+	}
+	return rt.Selection.String(), nil
+}
+
+// WatchStatus implements Host.
+func (h *EngineHost) WatchStatus(alias, status string, f func()) error {
+	id, err := h.resolve(alias)
+	if err != nil {
+		return err
+	}
+	k := watchKey{model: id, status: status}
+	h.watchers[k] = append(h.watchers[k], f)
+	return nil
+}
+
+// Say implements Host.
+func (h *EngineHost) Say(text string) {
+	if h.SayFn != nil {
+		h.SayFn(text)
+	}
+}
+
+// Activate compiles and starts the MHEG script object id on the engine
+// with the given alias bindings — the engine-side realization of the
+// MHEG 'activate' action for this language.
+func Activate(e *engine.Engine, id mheg.ID, bind map[string]mheg.ID, say func(string)) (*Instance, error) {
+	obj, ok := e.Model(id)
+	if !ok {
+		return nil, fmt.Errorf("script: no model %v", id)
+	}
+	s, ok := obj.(*mheg.Script)
+	if !ok {
+		return nil, fmt.Errorf("script: %v is %v, not a script", id, obj.Base().Class)
+	}
+	if s.Language != Language {
+		return nil, fmt.Errorf("script: %v holds language %q, want %q", id, s.Language, Language)
+	}
+	prog, err := Compile(s.Source)
+	if err != nil {
+		return nil, err
+	}
+	host := NewEngineHost(e, bind)
+	host.SayFn = say
+	return Start(host, prog), nil
+}

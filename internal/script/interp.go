@@ -1,0 +1,231 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Host is the world a script instance acts on. The MHEG engine adapter
+// (EngineHost) is the production implementation; tests may stub it.
+type Host interface {
+	// After schedules f on virtual time.
+	After(d time.Duration, f func())
+	// Apply performs one object verb ("run", "stopobj", "pause",
+	// "resume", "new", "delete", "show", "hide") on an alias; the
+	// channel argument applies to "new".
+	Apply(verb, alias, channel string) error
+	// Status reports an alias's presentation status: "running",
+	// "finished", "stopped" (never-run objects report "stopped").
+	Status(alias string) (string, error)
+	// Reply reports an alias's current selection state (user reply).
+	Reply(alias string) (string, error)
+	// WatchStatus calls f once when the alias next reaches the status.
+	WatchStatus(alias, status string, f func()) error
+	// Say delivers script narration to the application.
+	Say(text string)
+}
+
+// maxStepsPerResume bounds straight-line execution between waits so a
+// script without waits cannot spin the interpreter forever.
+const maxStepsPerResume = 10000
+
+// Instance is one activation of a program (an MHEG run-time script
+// object's behaviour).
+type Instance struct {
+	prog *Program
+	host Host
+	pc   int
+	vars map[string]string
+
+	done bool
+	err  error
+	// Steps counts executed instructions, for tests and accounting.
+	Steps int
+	// OnDone, when set, runs at termination (normal or error).
+	OnDone func(err error)
+}
+
+// Start activates a program on a host and executes until the first
+// wait (or completion).
+func Start(h Host, p *Program) *Instance {
+	in := &Instance{prog: p, host: h, vars: make(map[string]string)}
+	in.resume()
+	return in
+}
+
+// Done reports whether the instance has terminated.
+func (in *Instance) Done() bool { return in.done }
+
+// Err reports the instance's terminal error, if any.
+func (in *Instance) Err() error { return in.err }
+
+// Var reads a script variable (for tests and the host application).
+func (in *Instance) Var(name string) string { return in.vars[name] }
+
+func (in *Instance) fail(format string, a ...any) {
+	in.err = fmt.Errorf("script: %s", fmt.Sprintf(format, a...))
+	in.finish()
+}
+
+func (in *Instance) finish() {
+	if in.done {
+		return
+	}
+	in.done = true
+	if in.OnDone != nil {
+		in.OnDone(in.err)
+	}
+}
+
+// resume executes instructions until the instance blocks or ends.
+func (in *Instance) resume() {
+	steps := 0
+	for !in.done {
+		if in.pc >= len(in.prog.Instrs) {
+			in.finish() // falling off the end terminates normally
+			return
+		}
+		steps++
+		in.Steps++
+		if steps > maxStepsPerResume {
+			in.fail("line %d: %d instructions without a wait — runaway loop", in.prog.Instrs[in.pc].Line, steps)
+			return
+		}
+		instr := in.prog.Instrs[in.pc]
+		in.pc++
+		switch instr.Op {
+		case opNop:
+		case opRun, opStopObj, opPause, opResume, opNew, opDelete, opShow, opHide:
+			verb := map[OpCode]string{
+				opRun: "run", opStopObj: "stopobj", opPause: "pause", opResume: "resume",
+				opNew: "new", opDelete: "delete", opShow: "show", opHide: "hide",
+			}[instr.Op]
+			if err := in.host.Apply(verb, instr.Object, instr.Arg); err != nil {
+				in.fail("line %d: %v", instr.Line, err)
+				return
+			}
+		case opSet:
+			in.vars[instr.Var] = in.expand(instr.Arg)
+		case opAdd:
+			cur := parseNum(in.vars[instr.Var])
+			in.vars[instr.Var] = formatNum(cur + parseNum(in.expand(instr.Arg)))
+		case opWait:
+			in.host.After(instr.Dur, in.resume)
+			return
+		case opWaitFor:
+			status, err := in.host.Status(instr.Object)
+			if err != nil {
+				in.fail("line %d: %v", instr.Line, err)
+				return
+			}
+			if status == instr.Arg {
+				continue // already there
+			}
+			if err := in.host.WatchStatus(instr.Object, instr.Arg, in.resume); err != nil {
+				in.fail("line %d: %v", instr.Line, err)
+				return
+			}
+			return
+		case opGoto:
+			in.pc = instr.Target
+		case opIfGoto:
+			ok, err := in.evalCond(instr.Cond)
+			if err != nil {
+				in.fail("line %d: %v", instr.Line, err)
+				return
+			}
+			if ok {
+				in.pc = instr.Target
+			}
+		case opSay:
+			in.host.Say(in.expand(instr.Arg))
+		case opStop:
+			in.finish()
+			return
+		default:
+			in.fail("line %d: bad opcode %d", instr.Line, instr.Op)
+			return
+		}
+	}
+}
+
+func (in *Instance) evalCond(c *Cond) (bool, error) {
+	var replyErr, statusErr error
+	ok := c.Eval(in.vars,
+		func(alias string) string {
+			v, err := in.host.Reply(alias)
+			if err != nil {
+				replyErr = err
+			}
+			return v
+		},
+		func(alias string) string {
+			v, err := in.host.Status(alias)
+			if err != nil {
+				statusErr = err
+			}
+			return v
+		})
+	if replyErr != nil {
+		return false, replyErr
+	}
+	if statusErr != nil {
+		return false, statusErr
+	}
+	return ok, nil
+}
+
+// expand substitutes $var tokens anywhere in the string with variable
+// values; unknown variables expand to the empty string.
+func (in *Instance) expand(s string) string {
+	if !strings.Contains(s, "$") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '$' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (isWordByte(s[j])) {
+			j++
+		}
+		name := s[i+1 : j]
+		if name == "" {
+			b.WriteByte('$')
+			i++
+			continue
+		}
+		b.WriteString(in.vars[name])
+		i = j
+	}
+	return b.String()
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+func parseNum(s string) int64 {
+	var n int64
+	var neg bool
+	for i := 0; i < len(s); i++ {
+		if i == 0 && s[i] == '-' {
+			neg = true
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			return 0
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+func formatNum(n int64) string { return fmt.Sprintf("%d", n) }

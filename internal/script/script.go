@@ -1,0 +1,337 @@
+// Package script implements the MITS scripting language — the script
+// class support the thesis lists as future work (§6.2: "script object
+// class was not studied because of the unavailability of materials and
+// standards"; MHEG Part III was to provide it).
+//
+// The language realizes application-level synchronization (Fig 2.5):
+// "the script may contain complex synchronization taking into account
+// previous user replies, calculated values, and the state of system
+// resources, e.g., the overall view of how a course is to be taught."
+// It is deliberately small: line-oriented, with variables, arithmetic,
+// conditionals on engine state and user replies, waits on virtual time
+// and on object status, and the MHEG elementary actions as verbs.
+//
+//	# teach the section, then branch on the quiz reply
+//	run scene-intro
+//	waitfor scene-intro finished
+//	set tries 0
+//	label ask
+//	run quiz
+//	waitfor quiz stopped
+//	add tries 1
+//	if reply(quiz-answer) == "53 bytes" goto praise
+//	if tries >= 2 goto remediate
+//	goto ask
+//	label praise
+//	run well-done
+//	stop
+//	label remediate
+//	run review-section
+//	stop
+//
+// Scripts compile to a program once; each activation is an independent
+// interpreter instance driven by the MHEG engine's clock.
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// OpCode enumerates the instructions.
+type OpCode int
+
+// Instructions.
+const (
+	opNop     OpCode = iota
+	opRun            // run <object>
+	opStopObj        // stopobj <object>
+	opPause          // pause <object>
+	opResume         // resume <object>
+	opNew            // new <object> [channel]
+	opDelete         // delete <object>
+	opShow           // show <object> / hide <object>
+	opHide
+	opSet     // set <var> <expr>
+	opAdd     // add <var> <expr>
+	opWait    // wait <duration>
+	opWaitFor // waitfor <object> running|finished|stopped
+	opIfGoto  // if <cond> goto <label>
+	opGoto    // goto <label>
+	opSay     // say <text...>  (emitted to the host)
+	opStop    // stop (end of script)
+)
+
+// Instr is one compiled instruction.
+type Instr struct {
+	Op     OpCode
+	Object string // target object alias
+	Var    string
+	Arg    string // label, channel, status name or literal text
+	Dur    time.Duration
+	Cond   *Cond
+	Target int // resolved jump target
+	Line   int // source line, for errors
+}
+
+// CondKind distinguishes condition operand sources.
+type CondKind int
+
+// Condition operand kinds.
+const (
+	CondVar    CondKind = iota // variable value
+	CondReply                  // reply(<object>): the object's selection state
+	CondStatus                 // status(<object>): running|finished|stopped
+)
+
+// Cond is a comparison in an `if` instruction.
+type Cond struct {
+	Kind    CondKind
+	Operand string // variable name or object alias
+	Op      string // == != >= <= > <
+	Value   string // literal (number or quoted string)
+}
+
+// Program is a compiled script.
+type Program struct {
+	Source []byte
+	Instrs []Instr
+	labels map[string]int
+}
+
+// Compile parses script source into a program.
+func Compile(src []byte) (*Program, error) {
+	p := &Program{Source: src, labels: make(map[string]int)}
+	lines := strings.Split(string(src), "\n")
+	// First pass: collect labels.
+	for _, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "label" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("script: label needs a name: %q", raw)
+			}
+			if _, dup := p.labels[fields[1]]; dup {
+				return nil, fmt.Errorf("script: duplicate label %q", fields[1])
+			}
+			p.labels[fields[1]] = -1 // placeholder
+		}
+	}
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		instr, err := p.compileLine(line, ln+1)
+		if err != nil {
+			return nil, err
+		}
+		if instr.Op == opNop && instr.Arg != "" { // label marker
+			p.labels[instr.Arg] = len(p.Instrs)
+			continue
+		}
+		p.Instrs = append(p.Instrs, instr)
+	}
+	// Resolve jumps.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op != opGoto && in.Op != opIfGoto {
+			continue
+		}
+		tgt, ok := p.labels[in.Arg]
+		if !ok || tgt < 0 {
+			return nil, fmt.Errorf("script: line %d: unknown label %q", in.Line, in.Arg)
+		}
+		in.Target = tgt
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("script: empty program")
+	}
+	return p, nil
+}
+
+func stripComment(raw string) string {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	return strings.TrimSpace(raw)
+}
+
+func (p *Program) compileLine(line string, ln int) (Instr, error) {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	bad := func(format string, a ...any) (Instr, error) {
+		return Instr{}, fmt.Errorf("script: line %d: %s", ln, fmt.Sprintf(format, a...))
+	}
+	need := func(n int) bool { return len(args) == n }
+	switch cmd {
+	case "label":
+		return Instr{Op: opNop, Arg: args[0], Line: ln}, nil
+	case "run", "stopobj", "pause", "resume", "delete", "show", "hide":
+		if !need(1) {
+			return bad("%s needs one object", cmd)
+		}
+		op := map[string]OpCode{
+			"run": opRun, "stopobj": opStopObj, "pause": opPause,
+			"resume": opResume, "delete": opDelete, "show": opShow, "hide": opHide,
+		}[cmd]
+		return Instr{Op: op, Object: args[0], Line: ln}, nil
+	case "new":
+		if len(args) < 1 || len(args) > 2 {
+			return bad("new <object> [channel]")
+		}
+		in := Instr{Op: opNew, Object: args[0], Line: ln}
+		if len(args) == 2 {
+			in.Arg = args[1]
+		}
+		return in, nil
+	case "set", "add":
+		if len(args) != 2 {
+			return bad("%s <var> <value>", cmd)
+		}
+		op := opSet
+		if cmd == "add" {
+			op = opAdd
+		}
+		return Instr{Op: op, Var: args[0], Arg: args[1], Line: ln}, nil
+	case "wait":
+		if !need(1) {
+			return bad("wait <duration>")
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil || d < 0 {
+			return bad("bad duration %q", args[0])
+		}
+		return Instr{Op: opWait, Dur: d, Line: ln}, nil
+	case "waitfor":
+		if !need(2) {
+			return bad("waitfor <object> running|finished|stopped")
+		}
+		switch args[1] {
+		case "running", "finished", "stopped":
+		default:
+			return bad("bad status %q", args[1])
+		}
+		return Instr{Op: opWaitFor, Object: args[0], Arg: args[1], Line: ln}, nil
+	case "goto":
+		if !need(1) {
+			return bad("goto <label>")
+		}
+		return Instr{Op: opGoto, Arg: args[0], Line: ln}, nil
+	case "if":
+		// if <operand> <op> <value> goto <label>
+		rest := strings.Join(args, " ")
+		cond, label, err := parseCond(rest)
+		if err != nil {
+			return bad("%v", err)
+		}
+		return Instr{Op: opIfGoto, Cond: cond, Arg: label, Line: ln}, nil
+	case "say":
+		return Instr{Op: opSay, Arg: strings.Join(args, " "), Line: ln}, nil
+	case "stop":
+		return Instr{Op: opStop, Line: ln}, nil
+	default:
+		return bad("unknown command %q", cmd)
+	}
+}
+
+// parseCond parses `<operand> <op> <value> goto <label>`; value may be
+// a quoted string containing spaces.
+func parseCond(s string) (*Cond, string, error) {
+	gi := strings.LastIndex(s, " goto ")
+	if gi < 0 {
+		return nil, "", fmt.Errorf("if needs 'goto <label>'")
+	}
+	label := strings.TrimSpace(s[gi+len(" goto "):])
+	expr := strings.TrimSpace(s[:gi])
+	if label == "" {
+		return nil, "", fmt.Errorf("if needs a label")
+	}
+	var op string
+	for _, cand := range []string{"==", "!=", ">=", "<=", ">", "<"} {
+		if i := strings.Index(expr, cand); i > 0 {
+			op = cand
+			left := strings.TrimSpace(expr[:i])
+			right := strings.TrimSpace(expr[i+len(cand):])
+			cond := &Cond{Op: op, Value: unquote(right)}
+			switch {
+			case strings.HasPrefix(left, "reply(") && strings.HasSuffix(left, ")"):
+				cond.Kind = CondReply
+				cond.Operand = left[len("reply(") : len(left)-1]
+			case strings.HasPrefix(left, "status(") && strings.HasSuffix(left, ")"):
+				cond.Kind = CondStatus
+				cond.Operand = left[len("status(") : len(left)-1]
+			default:
+				cond.Kind = CondVar
+				cond.Operand = left
+			}
+			if cond.Operand == "" {
+				return nil, "", fmt.Errorf("empty condition operand")
+			}
+			return cond, label, nil
+		}
+	}
+	return nil, "", fmt.Errorf("no comparison operator in %q", expr)
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// Eval evaluates the condition given variable and engine state lookups.
+func (c *Cond) Eval(vars map[string]string, reply func(string) string, status func(string) string) bool {
+	var left string
+	switch c.Kind {
+	case CondVar:
+		left = vars[c.Operand]
+	case CondReply:
+		left = reply(c.Operand)
+	case CondStatus:
+		left = status(c.Operand)
+	}
+	switch c.Op {
+	case "==":
+		return left == c.Value
+	case "!=":
+		return left != c.Value
+	}
+	// Ordering: numeric when both parse, else lexicographic.
+	ln, lerr := strconv.ParseFloat(left, 64)
+	rn, rerr := strconv.ParseFloat(c.Value, 64)
+	if lerr == nil && rerr == nil {
+		switch c.Op {
+		case ">":
+			return ln > rn
+		case "<":
+			return ln < rn
+		case ">=":
+			return ln >= rn
+		case "<=":
+			return ln <= rn
+		}
+	}
+	switch c.Op {
+	case ">":
+		return left > c.Value
+	case "<":
+		return left < c.Value
+	case ">=":
+		return left >= c.Value
+	case "<=":
+		return left <= c.Value
+	}
+	return false
+}
+
+// Language is the identifier carried by MHEG script objects holding
+// this language.
+const Language = "mits-script"

@@ -1,0 +1,57 @@
+package sim
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core)
+// used by workload generators. It avoids math/rand so that every
+// simulation component can own an independent, explicitly-seeded stream
+// and results never depend on global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics when n ≤ 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// used for Poisson arrival processes in workload generators.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns an approximately normally distributed value using the
+// sum-of-uniforms method (Irwin–Hall with 12 samples), which is accurate
+// enough for traffic-size jitter and avoids math imports beyond ln.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return mean + stddev*(s-6)
+}

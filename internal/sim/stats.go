@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates scalar samples (latencies, sizes) and reports
+// summary statistics. The zero value is ready to use.
+type Series struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddDuration records a duration sample in nanoseconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(float64(d)) }
+
+// N reports the sample count.
+func (s *Series) N() int { return len(s.samples) }
+
+// Sum reports the total of all samples.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile reports the p-th percentile (0..100) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	rank := int(math.Ceil(p/100*float64(len(s.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
+}
+
+// StdDev reports the population standard deviation.
+func (s *Series) StdDev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.samples {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+func (s *Series) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// DurationStats formats the series as durations for report tables.
+func (s *Series) DurationStats() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.N(),
+		time.Duration(s.Mean()).Round(time.Microsecond),
+		time.Duration(s.Percentile(50)).Round(time.Microsecond),
+		time.Duration(s.Percentile(99)).Round(time.Microsecond),
+		time.Duration(s.Max()).Round(time.Microsecond))
+}

@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mits/internal/mediastore"
+)
+
+// Method names of the courseware-database service. GetListDoc and
+// GetSelectedDoc are the two APIs the thesis prototype implements
+// (§5.3.2); GetKeywordTree and GetDocByKeyword are the ones it names as
+// future work (§5.5); the rest complete the round trip for the
+// production and author sites.
+const (
+	MethodListDocs     = "db.Get_List_Doc"
+	MethodGetDoc       = "db.Get_Selected_Doc"
+	MethodKeywordTree  = "db.GetKeywordTree"
+	MethodDocByKeyword = "db.GetDocByKeyword"
+	MethodGetContent   = "db.GetContent"
+	MethodPutDoc       = "db.PutDocument"
+	MethodPutContent   = "db.PutContent"
+)
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Wire structs.
+type getDocReq struct{ Name string }
+type putDocReq struct {
+	Name, Title, Encoding string
+	Keywords              []string
+	Data                  []byte
+}
+type putDocResp struct{ Version int }
+type getContentReq struct{ Ref string }
+type putContentReq struct {
+	Ref, Coding string
+	Keywords    []string
+	Data        []byte
+}
+type keywordReq struct{ Keyword string }
+
+// RegisterStore exposes a mediastore on a mux as the courseware
+// database service.
+func RegisterStore(m *Mux, store *mediastore.Store) {
+	m.Register(MethodListDocs, func(_ string, _ []byte) ([]byte, error) {
+		return gobEncode(store.ListDocuments())
+	})
+	m.Register(MethodGetDoc, func(_ string, payload []byte) ([]byte, error) {
+		var req getDocReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		rec, err := store.GetDocument(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(rec)
+	})
+	m.Register(MethodKeywordTree, func(_ string, _ []byte) ([]byte, error) {
+		return gobEncode(store.Keywords())
+	})
+	m.Register(MethodDocByKeyword, func(_ string, payload []byte) ([]byte, error) {
+		var req keywordReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		return gobEncode(store.DocsByKeyword(req.Keyword))
+	})
+	m.Register(MethodGetContent, func(_ string, payload []byte) ([]byte, error) {
+		var req getContentReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		rec, err := store.GetContent(req.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(rec)
+	})
+	m.Register(MethodPutDoc, func(_ string, payload []byte) ([]byte, error) {
+		var req putDocReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		v, err := store.PutDocument(req.Name, req.Title, req.Encoding, req.Data, req.Keywords...)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(putDocResp{Version: v})
+	})
+	m.Register(MethodPutContent, func(_ string, payload []byte) ([]byte, error) {
+		var req putContentReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, store.PutContent(req.Ref, req.Coding, req.Data, req.Keywords...)
+	})
+}
+
+// EncodeGetDoc encodes a Get_Selected_Doc request payload, for issuing
+// the call over asynchronous carriers (ATM sessions).
+func EncodeGetDoc(name string) ([]byte, error) { return gobEncode(getDocReq{Name: name}) }
+
+// DecodeDocRecord decodes a Get_Selected_Doc response payload.
+func DecodeDocRecord(data []byte) (*mediastore.DocRecord, error) {
+	var rec mediastore.DocRecord
+	return &rec, gobDecode(data, &rec)
+}
+
+// EncodeGetContent encodes a GetContent request payload.
+func EncodeGetContent(ref string) ([]byte, error) { return gobEncode(getContentReq{Ref: ref}) }
+
+// DecodeContentRecord decodes a GetContent response payload.
+func DecodeContentRecord(data []byte) (*mediastore.ContentRecord, error) {
+	var rec mediastore.ContentRecord
+	return &rec, gobDecode(data, &rec)
+}
+
+// DBClient is the typed client module of §5.3.2, usable over any
+// synchronous carrier (TCP or loopback).
+type DBClient struct {
+	C Client
+}
+
+// GetListDoc returns the stored document names.
+func (d DBClient) GetListDoc() ([]string, error) {
+	payload, err := d.C.Call(MethodListDocs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	return names, gobDecode(payload, &names)
+}
+
+// GetSelectedDoc retrieves one document by name.
+func (d DBClient) GetSelectedDoc(name string) (*mediastore.DocRecord, error) {
+	req, err := gobEncode(getDocReq{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.C.Call(MethodGetDoc, req)
+	if err != nil {
+		return nil, err
+	}
+	var rec mediastore.DocRecord
+	return &rec, gobDecode(payload, &rec)
+}
+
+// GetKeywordTree retrieves the library's keyword hierarchy.
+func (d DBClient) GetKeywordTree() (*mediastore.KeywordNode, error) {
+	payload, err := d.C.Call(MethodKeywordTree, nil)
+	if err != nil {
+		return nil, err
+	}
+	var tree mediastore.KeywordNode
+	return &tree, gobDecode(payload, &tree)
+}
+
+// GetDocByKeyword finds documents by keyword path.
+func (d DBClient) GetDocByKeyword(keyword string) ([]string, error) {
+	req, err := gobEncode(keywordReq{Keyword: keyword})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.C.Call(MethodDocByKeyword, req)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	return names, gobDecode(payload, &names)
+}
+
+// GetContent fetches a content object's data by reference.
+func (d DBClient) GetContent(ref string) (*mediastore.ContentRecord, error) {
+	req, err := gobEncode(getContentReq{Ref: ref})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.C.Call(MethodGetContent, req)
+	if err != nil {
+		return nil, err
+	}
+	var rec mediastore.ContentRecord
+	return &rec, gobDecode(payload, &rec)
+}
+
+// PutDocument publishes a courseware document (author site).
+func (d DBClient) PutDocument(name, title, encoding string, data []byte, keywords ...string) (int, error) {
+	req, err := gobEncode(putDocReq{Name: name, Title: title, Encoding: encoding, Keywords: keywords, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	payload, err := d.C.Call(MethodPutDoc, req)
+	if err != nil {
+		return 0, err
+	}
+	var resp putDocResp
+	return resp.Version, gobDecode(payload, &resp)
+}
+
+// PutContent uploads media data (production center).
+func (d DBClient) PutContent(ref, coding string, data []byte, keywords ...string) error {
+	req, err := gobEncode(putContentReq{Ref: ref, Coding: coding, Keywords: keywords, Data: data})
+	if err != nil {
+		return err
+	}
+	_, err = d.C.Call(MethodPutContent, req)
+	return err
+}
+
+// FetchContent implements engine.ContentResolver over the database
+// client, so a navigator's MHEG engine pulls referenced content through
+// the network path.
+func (d DBClient) FetchContent(ref string) ([]byte, error) {
+	rec, err := d.GetContent(ref)
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetch content %q: %w", ref, err)
+	}
+	return rec.Data, nil
+}

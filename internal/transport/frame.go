@@ -1,0 +1,153 @@
+// Package transport implements the client–server communication model of
+// Fig 3.5: navigator clients issue requests ("a database server waits
+// and listens for a service request from a client"), the server
+// dispatches them to the courseware database and streams results back.
+//
+// The same framed request/response protocol runs over two carriers: a
+// real TCP connection (the deployment path, used by cmd/mitsd and
+// cmd/navigator) and a pair of simulated ATM virtual connections (the
+// experiment path, where delivery timing matters and everything runs on
+// virtual time).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxFrame bounds a single message; large content is chunked by the
+// database API layer.
+const MaxFrame = 16 << 20
+
+// frameKind distinguishes requests from responses on a duplex carrier.
+type frameKind byte
+
+const (
+	kindRequest frameKind = iota + 1
+	kindResponse
+)
+
+// frame is the wire unit: id pairs responses to requests, method names
+// the operation (requests) and errText carries failure (responses).
+type frame struct {
+	kind    frameKind
+	id      uint64
+	method  string // requests
+	errText string // responses
+	payload []byte
+}
+
+// marshal encodes the frame body (without the outer length prefix TCP
+// adds).
+func (f *frame) marshal() []byte {
+	name := f.method
+	if f.kind == kindResponse {
+		name = f.errText
+	}
+	buf := make([]byte, 0, 1+8+4+len(name)+4+len(f.payload))
+	buf = append(buf, byte(f.kind))
+	buf = binary.BigEndian.AppendUint64(buf, f.id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(name)))
+	buf = append(buf, name...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.payload)))
+	buf = append(buf, f.payload...)
+	return buf
+}
+
+var errBadFrame = errors.New("transport: malformed frame")
+
+func unmarshalFrame(data []byte) (*frame, error) {
+	if len(data) < 1+8+4 {
+		return nil, errBadFrame
+	}
+	f := &frame{kind: frameKind(data[0]), id: binary.BigEndian.Uint64(data[1:])}
+	if f.kind != kindRequest && f.kind != kindResponse {
+		return nil, fmt.Errorf("%w: kind %d", errBadFrame, f.kind)
+	}
+	off := 9
+	nameLen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if nameLen < 0 || off+nameLen+4 > len(data) {
+		return nil, errBadFrame
+	}
+	name := string(data[off : off+nameLen])
+	off += nameLen
+	payLen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if payLen < 0 || off+payLen != len(data) {
+		return nil, errBadFrame
+	}
+	if f.kind == kindRequest {
+		f.method = name
+	} else {
+		f.errText = name
+	}
+	if payLen > 0 {
+		f.payload = data[off : off+payLen]
+	}
+	return f, nil
+}
+
+// Handler processes one request and returns the response payload.
+type Handler interface {
+	Handle(method string, payload []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(method string, payload []byte) ([]byte, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(method string, payload []byte) ([]byte, error) {
+	return f(method, payload)
+}
+
+// ErrUnknownMethod is returned by Mux for unregistered methods.
+var ErrUnknownMethod = errors.New("transport: unknown method")
+
+// Mux dispatches requests by method name. The zero value is unusable;
+// create with NewMux. Registration happens at server start-up; serving
+// is concurrent-safe because the map is read-only afterwards.
+type Mux struct {
+	routes map[string]HandlerFunc
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux { return &Mux{routes: make(map[string]HandlerFunc)} }
+
+// Register adds a method handler; re-registering a method panics (it is
+// always a wiring bug).
+func (m *Mux) Register(method string, h HandlerFunc) {
+	if _, dup := m.routes[method]; dup {
+		panic("transport: duplicate method " + method)
+	}
+	m.routes[method] = h
+}
+
+// Handle implements Handler.
+func (m *Mux) Handle(method string, payload []byte) ([]byte, error) {
+	h, ok := m.routes[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
+	}
+	return h(method, payload)
+}
+
+// Client is a synchronous request issuer (TCP and loopback carriers).
+type Client interface {
+	Call(method string, payload []byte) ([]byte, error)
+	Close() error
+}
+
+// Loopback adapts a Handler into an in-process Client, used by unit
+// tests and by co-located sites (the author site editing against a
+// local database).
+type Loopback struct{ H Handler }
+
+// Call implements Client.
+func (l Loopback) Call(method string, payload []byte) ([]byte, error) {
+	return l.H.Handle(method, payload)
+}
+
+// Close implements Client.
+func (l Loopback) Close() error { return nil }

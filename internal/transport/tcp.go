@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, f *frame) error {
+	body := f.marshal()
+	if len(body) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return unmarshalFrame(body)
+}
+
+// TCPServer serves a Handler over TCP — the content server process of
+// Fig 3.5, "distributed applications ... consist of a number of
+// independent programs running on remote hosts".
+type TCPServer struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer wraps a handler.
+func NewTCPServer(h Handler) *TCPServer {
+	return &TCPServer{handler: h, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns
+// the bound address. Serving proceeds on background goroutines until
+// Close.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("transport: server already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if req.kind != kindRequest {
+			return
+		}
+		payload, herr := s.handler.Handle(req.method, req.payload)
+		resp := &frame{kind: kindResponse, id: req.id, payload: payload}
+		if herr != nil {
+			resp.errText = herr.Error()
+			resp.payload = nil
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all connections, waiting for serving
+// goroutines to drain.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// TCPClient is the client module embedded in the navigator (§5.3.2). It
+// issues one call at a time per connection, like the thesis's
+// Client() routine.
+type TCPClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// DialTCP connects to a server.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// Call implements Client: send a request, wait for its response.
+func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := &frame{kind: kindRequest, id: c.nextID, method: method, payload: payload}
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.id != req.id {
+		return nil, fmt.Errorf("transport: response id %d for request %d", resp.id, req.id)
+	}
+	if resp.errText != "" {
+		return nil, &RemoteError{Method: method, Text: resp.errText}
+	}
+	return resp.payload, nil
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// RemoteError is a server-side failure surfaced to the client.
+type RemoteError struct {
+	Method string
+	Text   string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Text)
+}

@@ -1,0 +1,148 @@
+package mits
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mits/internal/school"
+	"mits/internal/transport"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := NewSystem("MIRL TeleSchool")
+	doc, err := SampleATMCourse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.PublishInteractive(doc, CourseInfo{
+		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
+		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Zero() || len(out.Scenes) != 4 {
+		t.Fatalf("compiled manifest %+v", out)
+	}
+	if err := sys.StockLibrary(); err != nil {
+		t.Fatal(err)
+	}
+
+	nav := sys.NewNavigator()
+	num, err := nav.Register(school.Profile{Name: "Test Student"})
+	if err != nil || num == "" {
+		t.Fatalf("register: %v", err)
+	}
+	if err := nav.Enroll("ELG5121"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nav.StartCourse("ELG5121"); err != nil {
+		t.Fatal(err)
+	}
+	nav.Clock().RunFor(9 * time.Second)
+	scene, _ := nav.CurrentScene()
+	if scene != "cells" {
+		t.Errorf("scene %q after intro", scene)
+	}
+	if err := nav.ExitCourse(); err != nil {
+		t.Fatal(err)
+	}
+	stats := sys.School.Stats()
+	if stats.Students != 1 || stats.Enrollments["ELG5121"] != 1 {
+		t.Errorf("school stats %+v", stats)
+	}
+}
+
+func TestSystemHypermediaPublish(t *testing.T) {
+	sys := NewSystem("s")
+	doc, err := SampleHyperCourse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PublishHypermedia(doc, CourseInfo{
+		Code: "ELG5374", Name: "Networks", Program: "Engineering",
+		DocName: "net-course", Encoding: "sgml",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nav := sys.NewNavigator()
+	nav.Register(school.Profile{Name: "B"})
+	nav.Enroll("ELG5374")
+	if err := nav.StartCourse("ELG5374"); err != nil {
+		t.Fatal(err)
+	}
+	if page, _ := nav.CurrentScene(); page != "s1" {
+		t.Errorf("page %q", page)
+	}
+	if err := nav.Click("Next Section"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemOverTCP(t *testing.T) {
+	sys := NewSystem("s")
+	doc, _ := SampleATMCourse()
+	if _, err := sys.PublishInteractive(doc, CourseInfo{
+		Code: "C1", Name: "ATM", Program: "Eng", DocName: "atm-course",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := sys.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dbConn, err := transport.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbConn.Close()
+	schoolConn, err := transport.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer schoolConn.Close()
+
+	// A remote navigator drives the whole session over TCP.
+	nav := NewRemoteNavigator(dbConn, schoolConn)
+	if _, err := nav.Register(school.Profile{Name: "Remote"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nav.Enroll("C1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nav.StartCourse("C1"); err != nil {
+		t.Fatal(err)
+	}
+	nav.Clock().RunFor(time.Second)
+	if len(nav.Screen().Playing()) == 0 {
+		t.Error("nothing playing over TCP-delivered courseware")
+	}
+}
+
+func TestCourseInfoValidation(t *testing.T) {
+	sys := NewSystem("s")
+	doc, _ := SampleATMCourse()
+	if _, err := sys.PublishInteractive(doc, CourseInfo{}); err == nil {
+		t.Error("empty course info accepted")
+	}
+	if _, err := sys.PublishInteractive(doc, CourseInfo{
+		Code: "C", Name: "N", Program: "P", DocName: "d", Encoding: "xml",
+	}); err == nil || !strings.Contains(err.Error(), "unknown encoding") {
+		t.Errorf("bad encoding accepted: %v", err)
+	}
+}
+
+func TestLibraryKeywordSearch(t *testing.T) {
+	sys := NewSystem("s")
+	if err := sys.StockLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	nav := sys.NewNavigator()
+	docs, err := nav.SearchLibrary("multimedia")
+	if err != nil || len(docs) < 2 {
+		t.Errorf("library search %v err=%v", docs, err)
+	}
+}

@@ -1,0 +1,21 @@
+# Tier-1 gate: must stay green at every commit.
+.PHONY: build test
+build:
+	go build ./...
+test: build
+	go test ./...
+
+# Tier-2 gate: build + vet + mitslint + race detector (scripts/check.sh).
+.PHONY: check
+check:
+	./scripts/check.sh
+
+# The project static-analysis suite on its own.
+.PHONY: lint
+lint:
+	go run ./cmd/mitslint ./...
+
+# The E1–E24 experiment benchmarks.
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem .

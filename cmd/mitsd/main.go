@@ -70,7 +70,9 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Printf("shutting down")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		log.Printf("close listener: %v", err)
+	}
 	if *dbPath != "" {
 		if err := sys.Store.Save(*dbPath); err != nil {
 			log.Printf("save %s: %v", *dbPath, err)

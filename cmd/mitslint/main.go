@@ -1,0 +1,121 @@
+// Command mitslint runs the MITS static-analysis suite — the
+// project-specific correctness invariants that plain `go vet` cannot
+// know — over the packages matching the given patterns.
+//
+//	go run ./cmd/mitslint ./...
+//
+// Analyzers (see internal/lint/<name> for the full contract):
+//
+//	lockcheck  unguarded field access on mutex-protected structs
+//	errdrop    discarded errors from transport/mediastore I/O
+//	lifecycle  MHEG form (a)/(b)/(c) object life cycle violations
+//	sleepless  time.Sleep synchronization in non-test code
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or
+// load errors. Suppress a finding with //mits:allow <analyzer> (or
+// //mits:nolock) on or above the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mits/internal/lint"
+	"mits/internal/lint/suite"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "mitslint: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	analyzed := 0
+	for _, pkg := range pkgs {
+		if !pkg.Root || pkg.Standard || isTestdata(pkg.ImportPath) {
+			continue
+		}
+		analyzed++
+		for _, te := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mitslint: %s: type error: %v\n", pkg.ImportPath, te)
+			failed = true
+		}
+		for _, a := range analyzers {
+			diags, err := lint.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Println(rel(d))
+				failed = true
+			}
+		}
+	}
+	if analyzed == 0 {
+		fmt.Fprintf(os.Stderr, "mitslint: patterns matched no packages: %s\n", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// isTestdata guards against explicitly-named testdata packages (the
+// ./... pattern already skips them).
+func isTestdata(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// rel shortens absolute diagnostic paths to the working directory.
+func rel(d lint.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			d.Pos.Filename = r
+		}
+	}
+	return d.String()
+}

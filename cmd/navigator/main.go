@@ -59,13 +59,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cannot reach the TeleSchool at %s: %v\n", *server, err)
 		os.Exit(1)
 	}
-	defer dbConn.Close()
+	defer dbConn.Close() //mits:allow errdrop best-effort close on exit
 	schoolConn, err := transport.DialTCP(*server)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cannot reach the TeleSchool at %s: %v\n", *server, err)
 		os.Exit(1)
 	}
-	defer schoolConn.Close()
+	defer schoolConn.Close() //mits:allow errdrop best-effort close on exit
 
 	nav := mits.NewRemoteNavigator(dbConn, schoolConn)
 	fmt.Println("Welcome to the MIRL TeleSchool. Type 'help' for commands.")

@@ -96,7 +96,8 @@ func copyScene(s *document.Scene) (*document.Scene, error) {
 	return &out, nil
 }
 
-func (s *Session) record(author string, kind OpKind, scene string) {
+// recordLocked appends to the operation log; callers hold s.mu.
+func (s *Session) recordLocked(author string, kind OpKind, scene string) {
 	s.log = append(s.log, Op{
 		Seq: len(s.log) + 1, Author: author, Kind: kind, Scene: scene, Version: s.version,
 	})
@@ -156,7 +157,7 @@ func (s *Session) Checkout(author, sceneID string) (*document.Scene, error) {
 		return nil, fmt.Errorf("%w: %q holds %q", ErrLocked, holder, sceneID)
 	}
 	s.locks[sceneID] = author
-	s.record(author, OpCheckout, sceneID)
+	s.recordLocked(author, OpCheckout, sceneID)
 	return copyScene(scene)
 }
 
@@ -187,7 +188,7 @@ func (s *Session) Commit(author string, edited *document.Scene) error {
 	s.doc = candidate
 	s.version++
 	delete(s.locks, edited.ID)
-	s.record(author, OpCommit, edited.ID)
+	s.recordLocked(author, OpCommit, edited.ID)
 	return nil
 }
 
@@ -214,7 +215,7 @@ func (s *Session) Release(author, sceneID string) error {
 		return fmt.Errorf("%w: scene %q", ErrNotLocked, sceneID)
 	}
 	delete(s.locks, sceneID)
-	s.record(author, OpRelease, sceneID)
+	s.recordLocked(author, OpRelease, sceneID)
 	return nil
 }
 
@@ -256,7 +257,7 @@ func (s *Session) AddScene(author, sectionTitle string, scene *document.Scene) e
 	}
 	s.doc = candidate
 	s.version++
-	s.record(author, OpAdd, scene.ID)
+	s.recordLocked(author, OpAdd, scene.ID)
 	return nil
 }
 
@@ -299,6 +300,6 @@ func (s *Session) RemoveScene(author, sceneID string) error {
 	s.doc = candidate
 	s.version++
 	delete(s.locks, sceneID)
-	s.record(author, OpRemove, sceneID)
+	s.recordLocked(author, OpRemove, sceneID)
 	return nil
 }

@@ -194,7 +194,10 @@ func E13Mediastore() (*Report, error) {
 			return nil, err
 		}
 		for _, ref := range refs {
-			rec, _ := store.GetContent(ref)
+			rec, err := store.GetContent(ref)
+			if err != nil {
+				return nil, err
+			}
 			contentBytes += int64(len(rec.Data))
 		}
 	}
@@ -259,7 +262,9 @@ func E14Session() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	store.PutContent(intro.ID, string(intro.Coding), intro.Data)
+	if err := store.PutContent(intro.ID, string(intro.Coding), intro.Data); err != nil {
+		return nil, err
+	}
 	sch.AddCourse(school.Course{Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
 		PlannedSessions: 4, Document: "atm-course", IntroRef: "store/intro.mpg"})
 

@@ -73,6 +73,7 @@ func E7ClientServer() (*Report, error) {
 					return
 				}
 				start := n.Clock().Now()
+				//mits:allow errdrop send failure surfaces as a missed served count
 				sess.Go(transport.MethodGetDoc, req, func(p []byte, err error) {
 					if err == nil {
 						lat.AddDuration(n.Clock().Now().Sub(start))

@@ -67,7 +67,8 @@ func New() *Facilitator {
 	}
 }
 
-func (f *Facilitator) nextSeq() int {
+// nextSeqLocked issues the next sequence number; callers hold f.mu.
+func (f *Facilitator) nextSeqLocked() int {
 	f.seq++
 	return f.seq
 }
@@ -122,7 +123,7 @@ func (f *Facilitator) Say(roomName, member, text string) (int, error) {
 	if !r.members[member] {
 		return 0, fmt.Errorf("facilitator: %q is not in room %q", member, roomName)
 	}
-	msg := ChatMessage{Seq: f.nextSeq(), Author: member, Text: text}
+	msg := ChatMessage{Seq: f.nextSeqLocked(), Author: member, Text: text}
 	r.messages = append(r.messages, msg)
 	return msg.Seq, nil
 }
@@ -183,7 +184,7 @@ func (f *Facilitator) Publish(board, author, subject, body string) (int, error) 
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	p := Post{Seq: f.nextSeq(), Author: author, Subject: subject, Body: body}
+	p := Post{Seq: f.nextSeqLocked(), Author: author, Subject: subject, Body: body}
 	f.boards[board] = append(f.boards[board], p)
 	return p.Seq, nil
 }
@@ -226,7 +227,7 @@ func (f *Facilitator) Send(from, to, subject, body string) (int, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	m := Mail{Seq: f.nextSeq(), From: from, To: to, Subject: subject, Body: body}
+	m := Mail{Seq: f.nextSeqLocked(), From: from, To: to, Subject: subject, Body: body}
 	f.mail[to] = append(f.mail[to], m)
 	return m.Seq, nil
 }

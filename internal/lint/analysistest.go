@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest mirrors x/tools' analysistest.Run: it loads the package
+// directories under testdataDir/src, runs the analyzer over the
+// pattern-named packages, and matches every diagnostic against the
+// `// want "regexp"` comments in the sources. Each want comment
+// expects one diagnostic on its own line; several quoted regexps on
+// one comment expect several diagnostics. Lines with diagnostics but
+// no matching want, and wants with no matching diagnostic, fail the
+// test.
+func RunTest(t *testing.T, testdataDir string, a *Analyzer, pkgdirs ...string) {
+	t.Helper()
+	patterns := make([]string, 0, len(pkgdirs))
+	for _, d := range pkgdirs {
+		patterns = append(patterns, "./src/"+d)
+	}
+	pkgs, err := Load(testdataDir, patterns...)
+	if err != nil {
+		t.Fatalf("load testdata: %v", err)
+	}
+	ran := false
+	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		ran = true
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("testdata package %s has type error: %v", pkg.ImportPath, te)
+		}
+		diags, err := Run(a, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+	if !ran {
+		t.Fatalf("no packages loaded for %v in %s", pkgdirs, testdataDir)
+	}
+}
+
+type want struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.pos.Filename, w.pos.Line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double- or back-quoted strings of a want
+// comment tail, e.g. `"foo.*" "bar"` → [foo.*, bar].
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if uq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, uq)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}

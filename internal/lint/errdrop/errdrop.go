@@ -1,0 +1,137 @@
+// Package errdrop flags discarded error returns from the I/O layers —
+// functions and methods declared in a transport or mediastore package.
+//
+// Frames that fail to write and store operations that fail to persist
+// are exactly the failures a content server must surface (the thesis's
+// client–server database of §3.4.2 / §5.3.2); a dropped error there
+// silently loses a student's data. Flagged forms:
+//
+//	store.PutContent(...)        // bare call statement
+//	_ = client.Close()           // blank assignment
+//	v, _ := store.GetDocument(n) // blank error in a tuple
+//	defer client.Close()         // deferred, error unobservable
+//	go writeFrame(w, f)          // goroutine, error unobservable
+//
+// Intentional best-effort calls take //mits:allow errdrop on the line.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mits/internal/lint"
+)
+
+// TargetSegments names the import-path segments whose errors must not
+// be dropped.
+var TargetSegments = []string{"transport", "mediastore"}
+
+// Analyzer is the errdrop pass.
+var Analyzer = &lint.Analyzer{
+	Name: "errdrop",
+	Doc:  "report discarded errors from transport and mediastore calls",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "ignored")
+				}
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call, "deferred and ignored")
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "spawned and ignored")
+			case *ast.AssignStmt:
+				checkBlanked(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// targetFunc resolves a call to a function object declared in a target
+// package, returning nil otherwise.
+func targetFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	for _, seg := range strings.Split(fn.Pkg().Path(), "/") {
+		for _, want := range TargetSegments {
+			if seg == want {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// errorPositions returns the result-tuple indices of type error.
+func errorPositions(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func checkDropped(pass *lint.Pass, call *ast.CallExpr, how string) {
+	fn := targetFunc(pass, call)
+	if fn == nil || len(errorPositions(fn)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s.%s is %s — handle it or annotate //mits:allow errdrop", fn.Pkg().Name(), fn.Name(), how)
+}
+
+// checkBlanked flags assignments where every error result of a target
+// call lands in the blank identifier.
+func checkBlanked(pass *lint.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := targetFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	errPos := errorPositions(fn)
+	if len(errPos) == 0 {
+		return
+	}
+	for _, i := range errPos {
+		if i >= len(assign.Lhs) || !isBlank(assign.Lhs[i]) {
+			return // at least one error result is bound
+		}
+	}
+	pass.Reportf(assign.Pos(), "error from %s.%s assigned to _ — handle it or annotate //mits:allow errdrop", fn.Pkg().Name(), fn.Name())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,11 @@
+package errdrop
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestErrdrop(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

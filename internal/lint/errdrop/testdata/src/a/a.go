@@ -1,0 +1,38 @@
+// Package a exercises errdrop against the fake transport package.
+package a
+
+import (
+	"fmt"
+
+	"mits/internal/lint/errdrop/testdata/src/transport"
+)
+
+// Drops collects every flagged form.
+func Drops(c *transport.Client) {
+	c.Close()                  // want `error from transport.Close is ignored`
+	_ = c.Close()              // want `error from transport.Close assigned to _`
+	_, _ = c.Call("m")         // want `error from transport.Call assigned to _`
+	_, _ = transport.Write(nil) // want `error from transport.Write assigned to _`
+	defer c.Close()            // want `error from transport.Close is deferred and ignored`
+	go c.Close()               // want `error from transport.Close is spawned and ignored`
+}
+
+// Handled shows the accepted forms: binding the error, binding only
+// the error, non-error calls, and the explicit annotation.
+func Handled(c *transport.Client) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	payload, err := c.Call("m")
+	if err != nil {
+		return err
+	}
+	_, err = transport.Write(payload)
+	if err != nil {
+		return err
+	}
+	c.Ping() // no error result: fine
+	fmt.Println(len(payload))
+	c.Close() //mits:allow errdrop best-effort teardown
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package transport is a stand-in I/O layer for errdrop tests; the
+// analyzer targets any package with a "transport" path segment.
+package transport
+
+import "errors"
+
+// Client is a fake connection.
+type Client struct{}
+
+// Call fakes an RPC round trip.
+func (c *Client) Call(method string) ([]byte, error) {
+	if method == "" {
+		return nil, errors.New("empty method")
+	}
+	return []byte(method), nil
+}
+
+// Close fakes releasing the connection.
+func (c *Client) Close() error { return nil }
+
+// Ping has no error result; dropping its result is fine.
+func (c *Client) Ping() bool { return true }
+
+// Write fakes a frame write.
+func Write(b []byte) (int, error) { return len(b), nil }

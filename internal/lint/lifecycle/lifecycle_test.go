@@ -1,0 +1,11 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestLifecycle(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

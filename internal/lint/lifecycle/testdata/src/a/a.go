@@ -1,0 +1,71 @@
+// Package a exercises the lifecycle analyzer.
+package a
+
+import (
+	"mits/internal/lint/lifecycle/testdata/src/engine"
+	"mits/internal/lint/lifecycle/testdata/src/mheg"
+)
+
+// FabricatedIDs bypass form (b)→(c) instantiation: flagged.
+func FabricatedIDs(e *engine.Engine) {
+	e.Run(3) // want `Engine.Run called with a constant RTID`
+	id := engine.RTID(7)
+	e.Stop(id) // want `Engine.Stop called with a constant RTID`
+	const k = 2
+	e.Delete(k) // want `Engine.Delete called with a constant RTID`
+}
+
+// ProperIDs come from NewRT / RT / parameters / loops: clean.
+func ProperIDs(e *engine.Engine, param engine.RTID) {
+	rt, err := e.NewRT(mheg.ID{App: "a", Num: 1}, "main")
+	if err != nil {
+		return
+	}
+	e.Run(rt)
+	if live, ok := e.RT(rt); ok {
+		e.Stop(live)
+	}
+	e.Run(param) // caller instantiated it
+	for i := engine.RTID(1); i < 4; i++ {
+		e.Delete(i) // loop counter is multiply-assigned, not a constant
+	}
+}
+
+// EncodeUnvalidated ships hand-built objects as form (a) without
+// Validate: flagged, including the inline literal.
+func EncodeUnvalidated(c mheg.Codec) {
+	obj := &mheg.Content{ID: mheg.ID{App: "a", Num: 1}}
+	c.Encode(obj)                      // want `hand-built Content encoded without Validate`
+	c.Encode(&mheg.Content{Data: nil}) // want `hand-built Content encoded without Validate`
+}
+
+// EncodeValidated passes through the life cycle first: clean.
+func EncodeValidated(c mheg.Codec, e *engine.Engine) error {
+	obj := &mheg.Content{ID: mheg.ID{App: "a", Num: 1}}
+	if err := obj.Validate(); err != nil {
+		return err
+	}
+	if _, err := c.Encode(obj); err != nil {
+		return err
+	}
+
+	reg := &mheg.Content{ID: mheg.ID{App: "a", Num: 2}}
+	if err := e.AddModel(reg); err != nil { // AddModel validates
+		return err
+	}
+	_, err := c.Encode(reg)
+	if err != nil {
+		return err
+	}
+
+	built := mheg.NewContent("a", 3) // constructor, not hand-built
+	_, err = c.Encode(built)
+	return err
+}
+
+// ValidateTooLate does not count: the bytes already left.
+func ValidateTooLate(c mheg.Codec) {
+	obj := &mheg.Content{}
+	c.Encode(obj) // want `hand-built Content encoded without Validate`
+	_ = obj.Validate()
+}

@@ -1,0 +1,39 @@
+// Package engine is a stand-in MHEG engine for lifecycle tests; the
+// analyzer keys on the "engine" path segment, the Engine type name and
+// the RTID parameter type.
+package engine
+
+import "mits/internal/lint/lifecycle/testdata/src/mheg"
+
+// RTID identifies a form (c) run-time object.
+type RTID int
+
+// Engine fakes the run-time.
+type Engine struct {
+	next RTID
+}
+
+// New creates an engine.
+func New() *Engine { return &Engine{next: 1} }
+
+// AddModel registers a form (b) object, validating it.
+func (e *Engine) AddModel(o *mheg.Content) error { return o.Validate() }
+
+// NewRT instantiates form (b) → form (c).
+func (e *Engine) NewRT(id mheg.ID, channel string) (RTID, error) {
+	rt := e.next
+	e.next++
+	return rt, nil
+}
+
+// RT looks up a live run-time object.
+func (e *Engine) RT(id RTID) (RTID, bool) { return id, true }
+
+// Run starts presentation (form (c) operation).
+func (e *Engine) Run(id RTID) {}
+
+// Stop halts presentation.
+func (e *Engine) Stop(id RTID) {}
+
+// Delete destroys a run-time object.
+func (e *Engine) Delete(id RTID) {}

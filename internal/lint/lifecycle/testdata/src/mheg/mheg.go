@@ -1,0 +1,37 @@
+// Package mheg is a stand-in object model for lifecycle tests; the
+// analyzer keys on the "mheg" path segment and a Validate method.
+package mheg
+
+import "errors"
+
+// ID identifies a model object.
+type ID struct {
+	App string
+	Num uint32
+}
+
+// Content is a model class with the Validate contract.
+type Content struct {
+	ID   ID
+	Data []byte
+}
+
+// Validate checks class invariants.
+func (c *Content) Validate() error {
+	if c.ID.App == "" {
+		return errors.New("empty namespace")
+	}
+	return nil
+}
+
+// NewContent is a blessed constructor: values it returns are not
+// "hand-built" in the analyzer's sense.
+func NewContent(app string, num uint32) *Content {
+	return &Content{ID: ID{App: app, Num: num}}
+}
+
+// Codec fakes the interchange encoder.
+type Codec struct{}
+
+// Encode ships an object as form (a) bytes.
+func (Codec) Encode(o any) ([]byte, error) { return nil, nil }

@@ -1,0 +1,171 @@
+// Package lint is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) plus a package loader built on `go list` and go/types.
+//
+// The container this repo grows in has no module proxy access, so the
+// real x/tools framework cannot be vendored; this package keeps the
+// same shape — an Analyzer is a named Run function over a type-checked
+// package, reporting position-tagged diagnostics — so the
+// project-specific analyzers under internal/lint/... would port to
+// x/tools unchanged.
+//
+// Suppression: a diagnostic is dropped when the flagged line (or the
+// line above it) carries a `//mits:allow <name>` comment naming the
+// analyzer, or the legacy `//mits:nolock` spelling for lockcheck.
+// Function-level suppression (the whole body) is available to
+// analyzers via Pass.FuncAllowed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	allowLines map[string]map[int][]string // filename → line → allowed analyzer names
+}
+
+var allowRe = regexp.MustCompile(`//\s*mits:(nolock|allow\s+([\w,-]+))`)
+
+// buildAllowLines indexes every //mits:allow (and //mits:nolock)
+// comment by file and line. A comment suppresses its own line and the
+// line directly below it, so both trailing and preceding placement
+// work.
+func (p *Pass) buildAllowLines() {
+	p.allowLines = make(map[string]map[int][]string)
+	add := func(pos token.Position, names []string) {
+		byLine := p.allowLines[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]string)
+			p.allowLines[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], names...)
+		byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) > 0 {
+					add(p.Fset.Position(c.Pos()), names)
+				}
+			}
+		}
+	}
+}
+
+func parseAllow(comment string) []string {
+	m := allowRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	if m[1] == "nolock" {
+		return []string{"lockcheck"}
+	}
+	return strings.Split(m[2], ",")
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	if p.allowLines == nil {
+		p.buildAllowLines()
+	}
+	for _, name := range p.allowLines[pos.Filename][pos.Line] {
+		if name == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAllowed reports whether a declaration's doc comment suppresses
+// this analyzer for the whole function (used by analyzers whose unit
+// of reasoning is a body, not a line).
+func (p *Pass) FuncAllowed(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		for _, name := range parseAllow(c.Text) {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic unless an allow comment covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies one analyzer to one loaded package.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	sortDiags(pass.diags)
+	return pass.diags, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+// TestLoadSmoke checks the from-source loader against real repo
+// packages: everything type-checks with zero errors and the roots are
+// flagged correctly.
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/transport", "./internal/mheg/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := 0
+	for _, p := range pkgs {
+		if !p.Root {
+			continue
+		}
+		roots++
+		for _, te := range p.TypeErrors {
+			t.Errorf("%s: unexpected type error: %v", p.ImportPath, te)
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files parsed", p.ImportPath)
+		}
+	}
+	if roots < 4 {
+		t.Fatalf("expected ≥4 root packages, got %d", roots)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    int
+	}{
+		{"//mits:nolock immutable after construction", 1},
+		{"// mits:allow errdrop best-effort close", 1},
+		{"//mits:allow errdrop,sleepless", 2},
+		{"// plain comment", 0},
+	}
+	for _, c := range cases {
+		if got := len(parseAllow(c.comment)); got != c.want {
+			t.Errorf("parseAllow(%q) = %d names, want %d", c.comment, got, c.want)
+		}
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	got := splitQuoted("\"foo.*bar\" `raw[x]` \"esc\\\"q\"")
+	if len(got) != 3 || got[0] != "foo.*bar" || got[1] != "raw[x]" || got[2] != `esc"q` {
+		t.Fatalf("splitQuoted = %q", got)
+	}
+}

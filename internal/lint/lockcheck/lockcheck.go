@@ -1,0 +1,305 @@
+// Package lockcheck flags methods of mutex-guarded structs that touch
+// shared fields without holding the lock.
+//
+// A struct is "guarded" when it has a field of type sync.Mutex or
+// sync.RWMutex. Within each method body (function literals are
+// analyzed as separate bodies, since they usually run on other
+// goroutines), an access to a guarded field is an error unless
+//
+//   - a receiver.mu.Lock() / RLock() call appears earlier in the same
+//     body (defer-Unlock idiom is therefore accepted),
+//   - the field is the mutex itself or another sync.* primitive
+//     (WaitGroups are their own synchronization domain),
+//   - the field is immutable — never reassigned, index-assigned,
+//     incremented or address-taken anywhere in the package, i.e. set
+//     only at construction, or
+//   - the method name ends in "Locked" (the caller-holds-lock helper
+//     convention), or the declaration carries //mits:nolock.
+//
+// The check is a per-body source-order heuristic, not a full
+// happens-before analysis: it accepts an access after an early Unlock
+// and cannot see locks held by callers. The "Locked" suffix and
+// //mits:nolock escape hatch cover exactly those cases — visibly.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mits/internal/lint"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "report unguarded accesses to fields of mutex-protected structs",
+	Run:  run,
+}
+
+// guardedStruct is one struct type with a mutex field.
+type guardedStruct struct {
+	named   *types.Named
+	fields  map[*types.Var]bool // all direct fields
+	mutexes map[*types.Var]bool // the sync.Mutex / sync.RWMutex fields
+	mutable map[*types.Var]bool // fields written outside construction
+}
+
+func run(pass *lint.Pass) error {
+	guarded := findGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	markMutable(pass, guarded)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			g := receiverStruct(pass, fd, guarded)
+			if g == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || pass.FuncAllowed(fd) {
+				continue
+			}
+			recvObj := receiverObj(pass, fd)
+			if recvObj == nil {
+				continue
+			}
+			for _, body := range splitBodies(fd.Body) {
+				checkBody(pass, fd, body, recvObj, g)
+			}
+		}
+	}
+	return nil
+}
+
+// findGuarded collects the package's structs that carry a mutex field.
+func findGuarded(pass *lint.Pass) map[*types.Named]*guardedStruct {
+	out := make(map[*types.Named]*guardedStruct)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		g := &guardedStruct{
+			named:   named,
+			fields:  make(map[*types.Var]bool),
+			mutexes: make(map[*types.Var]bool),
+			mutable: make(map[*types.Var]bool),
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			g.fields[fld] = true
+			if isSyncType(fld.Type(), "Mutex") || isSyncType(fld.Type(), "RWMutex") {
+				g.mutexes[fld] = true
+			}
+		}
+		if len(g.mutexes) > 0 {
+			out[named] = g
+		}
+	}
+	return out
+}
+
+// isSyncType reports whether t is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// isAnySyncType reports whether t lives in package sync (Mutex,
+// WaitGroup, Once, ...): such fields synchronize themselves.
+func isAnySyncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// markMutable scans the whole package for writes through guarded
+// fields: direct assignment, assignment through an index or nested
+// selector, ++/--, and address-taking all make a field "mutable".
+// Fields only ever set in composite literals (constructors) stay
+// immutable and may be read without the lock.
+func markMutable(pass *lint.Pass, guarded map[*types.Named]*guardedStruct) {
+	fieldOwners := make(map[*types.Var]*guardedStruct)
+	for _, g := range guarded {
+		for fld := range g.fields {
+			fieldOwners[fld] = g
+		}
+	}
+	markExpr := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			if fld, ok := s.Obj().(*types.Var); ok {
+				if g := fieldOwners[fld]; g != nil {
+					g.mutable[fld] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					markExpr(lhs)
+				}
+			case *ast.IncDecStmt:
+				markExpr(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					markExpr(n.X)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// receiverStruct resolves a method's receiver to a guarded struct.
+func receiverStruct(pass *lint.Pass, fd *ast.FuncDecl, guarded map[*types.Named]*guardedStruct) *guardedStruct {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return guarded[named]
+}
+
+func receiverObj(pass *lint.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// splitBodies returns the method body plus each nested function
+// literal body as independent analysis units.
+func splitBodies(body *ast.BlockStmt) []ast.Node {
+	out := []ast.Node{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks root without descending into nested function
+// literals (they are separate bodies).
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl, body ast.Node, recvObj types.Object, g *guardedStruct) {
+	firstLock := firstLockPos(pass, body, recvObj, g)
+	reported := make(map[*types.Var]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[ident] != recvObj {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		fld, ok := s.Obj().(*types.Var)
+		if !ok || !g.fields[fld] {
+			return true
+		}
+		if g.mutexes[fld] || isAnySyncType(fld.Type()) {
+			return true
+		}
+		if !g.mutable[fld] {
+			return true // set only at construction: immutable, lock-free reads fine
+		}
+		if firstLock.IsValid() && sel.Pos() > firstLock {
+			return true
+		}
+		if !reported[fld] {
+			reported[fld] = true
+			pass.Reportf(sel.Pos(), "%s.%s accesses %s.%s without holding the mutex (no Lock/RLock earlier in this body; suffix the helper with Locked or annotate //mits:nolock if the caller holds it)",
+				g.named.Obj().Name(), fd.Name.Name, ident.Name, fld.Name())
+		}
+		return true
+	})
+}
+
+// firstLockPos finds the earliest receiver.mu.Lock()/RLock() call in
+// the body, token.NoPos when absent.
+func firstLockPos(pass *lint.Pass, body ast.Node, recvObj types.Object, g *guardedStruct) token.Pos {
+	first := token.NoPos
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := inner.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[ident] != recvObj {
+			return true
+		}
+		s := pass.TypesInfo.Selections[inner]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if fld, ok := s.Obj().(*types.Var); ok && g.mutexes[fld] {
+			if !first.IsValid() || call.Pos() < first {
+				first = call.Pos()
+			}
+		}
+		return true
+	})
+	return first
+}

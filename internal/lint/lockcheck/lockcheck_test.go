@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestLockcheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

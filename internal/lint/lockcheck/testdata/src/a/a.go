@@ -1,0 +1,112 @@
+// Package a exercises lockcheck: flagged unguarded accesses and every
+// accepted pattern.
+package a
+
+import "sync"
+
+// Counter is a guarded struct: it has a mutex plus shared state.
+type Counter struct {
+	name string // set only at construction → immutable, lock-free reads OK
+
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	n     int
+	items map[string]int
+}
+
+// NewCounter constructs; composite-literal initialization does not make
+// fields mutable.
+func NewCounter(name string) *Counter {
+	return &Counter{name: name, items: make(map[string]int)}
+}
+
+// Good locks before touching fields.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// Bad touches n without the lock.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter.Bad accesses c.n without holding the mutex`
+}
+
+// BadWrite writes through a map field without the lock.
+func (c *Counter) BadWrite(k string) {
+	c.items[k]++ // want `Counter.BadWrite accesses c.items without holding the mutex`
+}
+
+// EarlyRead reads a field before the lock is taken: still a bug.
+func (c *Counter) EarlyRead() int {
+	v := c.n // want `Counter.EarlyRead accesses c.n without holding the mutex`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+// Name reads an immutable field: no lock needed, no diagnostic.
+func (c *Counter) Name() string { return c.name }
+
+// bumpLocked follows the caller-holds-lock convention: exempt.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Waiter uses only the WaitGroup: sync fields synchronize themselves.
+func (c *Counter) Waiter() { c.wg.Wait() }
+
+//mits:nolock single-goroutine setup phase, documented exception
+func (c *Counter) Seed(v int) { c.n = v }
+
+// Spawn shows closures are separate bodies: the goroutine locks for
+// itself, the outer body never touches shared state.
+func (c *Counter) Spawn() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// SpawnBad's closure touches state with no lock anywhere in the
+// closure body, even though the outer body locked first.
+func (c *Counter) SpawnBad() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `Counter.SpawnBad accesses c.n without holding the mutex`
+	}()
+}
+
+// RW is guarded by a RWMutex; RLock counts as holding the lock.
+type RW struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// Read is clean under RLock.
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// Set is clean under Lock.
+func (r *RW) Set(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// Peek is flagged: no lock at all.
+func (r *RW) Peek() int {
+	return r.v // want `RW.Peek accesses r.v without holding the mutex`
+}
+
+// Plain has no mutex: never checked.
+type Plain struct{ v int }
+
+// Get is unguarded by design; Plain is not a guarded struct.
+func (p *Plain) Get() int { return p.v }

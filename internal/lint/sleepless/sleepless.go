@@ -1,0 +1,51 @@
+// Package sleepless forbids time.Sleep in non-test code.
+//
+// MITS timing runs on the deterministic virtual clock of internal/sim
+// (every experiment is reproducible, "one failure = bug"); a real
+// time.Sleep smuggles wall-clock nondeterminism into simulations and
+// is the classic crutch for missing synchronization in servers. Use
+// sim.Clock scheduling, or channel/WaitGroup synchronization.
+//
+// The mitslint loader only analyzes non-test files, so _test.go code
+// (where a bounded real sleep can be legitimate) is exempt by
+// construction. A rare intentional production sleep takes
+// //mits:allow sleepless on the line.
+package sleepless
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mits/internal/lint"
+)
+
+// Analyzer is the sleepless pass.
+var Analyzer = &lint.Analyzer{
+	Name: "sleepless",
+	Doc:  "forbid time.Sleep-based synchronization outside tests",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep in non-test code: synchronize with the sim virtual clock or channels, or annotate //mits:allow sleepless")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package sleepless
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestSleepless(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,20 @@
+// Package suite registers the project analyzers mitslint runs.
+package suite
+
+import (
+	"mits/internal/lint"
+	"mits/internal/lint/errdrop"
+	"mits/internal/lint/lifecycle"
+	"mits/internal/lint/lockcheck"
+	"mits/internal/lint/sleepless"
+)
+
+// All returns the analyzers of the MITS correctness suite.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		lockcheck.Analyzer,
+		errdrop.Analyzer,
+		lifecycle.Analyzer,
+		sleepless.Analyzer,
+	}
+}

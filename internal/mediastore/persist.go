@@ -17,14 +17,23 @@ type snapshotFile struct {
 }
 
 // Save writes the store to path, creating parent directories.
+//
+// The snapshot copies record values while the lock is held: the
+// encoder runs after the lock is released, and PutDocument updates
+// records in place, so encoding the live pointers would race with
+// concurrent writers. Field slices need no deep copy — writers always
+// replace them with freshly-allocated slices, never mutate the backing
+// arrays.
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
 	snap := snapshotFile{}
 	for _, d := range s.docs {
-		snap.Docs = append(snap.Docs, d)
+		cp := *d
+		snap.Docs = append(snap.Docs, &cp)
 	}
 	for _, c := range s.content {
-		snap.Content = append(snap.Content, c)
+		cp := *c
+		snap.Content = append(snap.Content, &cp)
 	}
 	s.mu.RUnlock()
 

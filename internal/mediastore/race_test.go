@@ -1,0 +1,114 @@
+package mediastore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestSaveConcurrentWithPutDocument is the regression test for a data
+// race mitslint's audit surfaced: Save used to collect the live
+// *DocRecord pointers under the lock but gob-encode them after
+// releasing it, while PutDocument updates records in place. Run with
+// -race; before the fix the encoder read Data/Version while a writer
+// replaced them.
+func TestSaveConcurrentWithPutDocument(t *testing.T) {
+	s := New()
+	if _, err := s.PutDocument("course", "Title", "asn1", []byte("v1"), "networking"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutContent("store/intro", "mpeg", []byte("frames")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "image.gob")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data := []byte(fmt.Sprintf("version %d payload", i))
+			if _, err := s.PutDocument("course", "Title", "asn1", data, "networking"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := s.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs, contents := loaded.Sizes(); docs != 1 || contents != 1 {
+		t.Errorf("loaded %d docs, %d contents; want 1, 1", docs, contents)
+	}
+}
+
+// TestStoreConcurrentStress hammers every Store API from many
+// goroutines at once — the content server of Fig 3.5 serves many
+// navigator clients concurrently, so the store must hold up under
+// -race with mixed readers and writers.
+func TestStoreConcurrentStress(t *testing.T) {
+	s := New()
+	const workers = 8
+	const iters = 200
+	path := filepath.Join(t.TempDir(), "stress.gob")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc-%d", w%4) // overlap names across workers
+			ref := fmt.Sprintf("store/clip-%d", w%4)
+			for i := 0; i < iters; i++ {
+				data := []byte(fmt.Sprintf("worker %d iteration %d", w, i))
+				if _, err := s.PutDocument(name, "T", "asn1", data, "networking/atm"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.PutContent(ref, "mpeg", data); err != nil {
+					t.Error(err)
+					return
+				}
+				if rec, err := s.GetDocument(name); err == nil {
+					_ = len(rec.Data)
+				}
+				if rec, err := s.GetContent(ref); err == nil {
+					_ = len(rec.Data)
+				}
+				s.DocsByKeyword("networking")
+				s.ListDocuments()
+				s.ListContent("store/")
+				s.HasContent(ref)
+				s.Stats()
+				s.Sizes()
+				if i%50 == 0 {
+					if err := s.Save(path); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if docs, contents := s.Sizes(); docs != 4 || contents != 4 {
+		t.Errorf("after stress: %d docs, %d contents; want 4, 4", docs, contents)
+	}
+}

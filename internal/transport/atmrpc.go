@@ -151,7 +151,7 @@ func (s *ATMSession) onRequest(pdu []byte, _, _ sim.Time) {
 		}
 		body := resp.marshal()
 		s.rspBytes += int64(len(body))
-		sendChunked(s.s2c, body) //nolint:errcheck // closed session drops responses
+		sendChunked(s.s2c, body) //mits:allow errdrop closed session drops responses
 	}
 	if s.ServiceTime > 0 {
 		s.net.Clock().After(s.ServiceTime, respond)

@@ -51,6 +51,7 @@ type TCPServer struct {
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
+	closeErr error // first Close's listener error, returned by later calls
 	wg       sync.WaitGroup
 }
 
@@ -74,8 +75,11 @@ func (s *TCPServer) Listen(addr string) (string, error) {
 		return "", errors.New("transport: server already closed")
 	}
 	s.listener = l
-	s.mu.Unlock()
+	// Register the accept loop before releasing the lock: a concurrent
+	// Close must not run wg.Wait between our Unlock and a late wg.Add,
+	// or it would return with the accept loop still alive.
 	s.wg.Add(1)
+	s.mu.Unlock()
 	go s.acceptLoop(l)
 	return l.Addr().String(), nil
 }
@@ -94,8 +98,8 @@ func (s *TCPServer) acceptLoop(l net.Listener) {
 			return
 		}
 		s.conns[conn] = true
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
@@ -129,19 +133,24 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 }
 
 // Close stops the listener and all connections, waiting for serving
-// goroutines to drain.
+// goroutines to drain. Close is idempotent and safe to call
+// concurrently; every call waits for the drain and returns the first
+// call's listener error.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
-	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
+	if !s.closed {
+		s.closed = true
+		if s.listener != nil {
+			s.closeErr = s.listener.Close()
+		}
+		for c := range s.conns {
+			c.Close() // unblocks serveConn's read; its own close error is the signal
+		}
 	}
-	for c := range s.conns {
-		c.Close()
-	}
+	err := s.closeErr
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return err
 }
 
 // TCPClient is the client module embedded in the navigator (§5.3.2). It
@@ -151,6 +160,9 @@ type TCPClient struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint64
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // DialTCP connects to a server.
@@ -184,8 +196,16 @@ func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 	return resp.payload, nil
 }
 
-// Close implements Client.
-func (c *TCPClient) Close() error { return c.conn.Close() }
+// Close implements Client. It deliberately does not take c.mu, so it
+// can interrupt a Call blocked on the network; closing the connection
+// fails the pending read. Close is idempotent: every call returns the
+// first close's error.
+func (c *TCPClient) Close() error {
+	c.closeOnce.Do(func() {
+		c.closeErr = c.conn.Close() //mits:nolock write is published by closeOnce.Do
+	})
+	return c.closeErr //mits:nolock closeOnce.Do orders the write before this read
+}
 
 // RemoteError is a server-side failure surfaced to the client.
 type RemoteError struct {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the tier-2 correctness gate: build, vet, the MITS
+# static-analysis suite, and the full test suite under the race
+# detector. CI and pre-merge runs should call this; one failure is a
+# bug, not noise (see EXPERIMENTS.md "Deterministic invariants").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/mitslint ./..."
+go run ./cmd/mitslint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"

@@ -15,7 +15,15 @@ check:
 lint:
 	go run ./cmd/mitslint ./...
 
-# The E1–E24 experiment benchmarks.
+# The experiment benchmarks (E1–E24 plus the E27 obs baseline).
 .PHONY: bench
 bench:
 	go test -bench=. -benchmem .
+
+# Observability checks alone: obs tests, the traced-RPC smoke scrape,
+# and the transport latency baseline (writes BENCH_obs.json).
+.PHONY: obs
+obs:
+	go test -race ./internal/obs/ ./internal/transport/
+	go run ./cmd/obssmoke
+	go test -run=NONE -bench=BenchmarkE27 .

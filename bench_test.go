@@ -2,12 +2,14 @@ package mits
 
 // One benchmark per experiment of DESIGN.md's per-experiment index
 // (E1–E24), each driving the hot path of the mechanism its figure or
-// table depicts. `go test -bench=. -benchmem` regenerates the
-// performance side of EXPERIMENTS.md; the experiment *tables* come from
-// cmd/experiments.
+// table depicts, plus the E27 observability baseline. `go test
+// -bench=. -benchmem` regenerates the performance side of
+// EXPERIMENTS.md; the experiment *tables* come from cmd/experiments.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"mits/internal/mheg/codec"
 	"mits/internal/mheg/engine"
 	"mits/internal/navigator"
+	"mits/internal/obs"
 	"mits/internal/production"
 	"mits/internal/sched"
 	"mits/internal/school"
@@ -757,4 +760,70 @@ func BenchmarkE24Conferencing(b *testing.B) {
 			b.Fatal("idle call unusable")
 		}
 	}
+}
+
+// BenchmarkE27ObsBaseline — the observability baseline: real TCP
+// Get_Selected_Doc round trips with the obs instrumentation live, so
+// the reported percentiles include every counter increment and span
+// the production path pays. Besides the usual ns/op it writes
+// BENCH_obs.json with the transport client/server latency percentiles
+// accumulated by the obs histograms (check.sh runs it to refresh the
+// baseline recorded in EXPERIMENTS.md).
+func BenchmarkE27ObsBaseline(b *testing.B) {
+	sys := NewSystem("bench school")
+	if err := publishDoc(sys); err != nil {
+		b.Fatal(err)
+	}
+	srv, bound, err := sys.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := transport.DialTCP(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	db := transport.DBClient{C: cli}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.GetSelectedDoc("atm-course"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	out := map[string]any{"benchmark": "E27ObsBaseline", "rpcs": b.N}
+	for key, name := range map[string]string{
+		"transport_client_latency": "transport_client_latency_ns",
+		"transport_server_latency": "transport_server_latency_ns",
+	} {
+		s := obs.GetHistogram(name, "method", transport.MethodGetDoc).Snapshot()
+		out[key] = map[string]int64{
+			"count": s.Count, "p50_ns": int64(s.P50), "p95_ns": int64(s.P95), "p99_ns": int64(s.P99),
+		}
+		b.ReportMetric(float64(int64(s.P50)), key+"_p50_ns")
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// publishDoc publishes the sample ATM course for E27.
+func publishDoc(sys *System) error {
+	doc, err := SampleATMCourse()
+	if err != nil {
+		return err
+	}
+	_, err = sys.PublishInteractive(doc, CourseInfo{
+		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
+		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm"},
+	})
+	return err
 }

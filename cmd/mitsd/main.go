@@ -5,11 +5,16 @@
 //
 //	mitsd -addr 127.0.0.1:7121                  # fresh school with the sample courses
 //	mitsd -addr :7121 -db /var/mits/school.db   # load/save a database image
+//	mitsd -stats 127.0.0.1:7122                 # observability endpoint
+//
+// With -stats, GET /stats returns the obs text exposition (counters,
+// gauges, latency percentiles, recent RPC spans), /debug/vars the
+// expvar mirror and /healthz a liveness 200.
 package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -17,15 +22,25 @@ import (
 	"mits"
 	"mits/internal/exercise"
 	"mits/internal/mediastore"
+	"mits/internal/obs"
 	"mits/internal/school"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7121", "TCP listen address")
+	statsAddr := flag.String("stats", "", "HTTP stats listen address (empty disables the endpoint)")
 	dbPath := flag.String("db", "", "database image to load at start and save on shutdown")
 	name := flag.String("school", "MIRL TeleSchool", "school name")
 	noSamples := flag.Bool("no-samples", false, "do not publish the sample courses")
+	verbose := flag.Bool("v", false, "log at debug level")
 	flag.Parse()
+
+	obs.SetSite("mitsd")
+	obs.SetLogLevel(slog.LevelInfo)
+	if *verbose {
+		obs.SetLogLevel(slog.LevelDebug)
+	}
+	logger := obs.Logger("mitsd")
 
 	var store *mediastore.Store
 	var sch *school.School
@@ -34,57 +49,76 @@ func main() {
 		schoolPath = *dbPath + ".school"
 		if loaded, err := mediastore.Load(*dbPath); err == nil {
 			store = loaded
-			log.Printf("loaded database image %s", *dbPath)
+			logger.Info("loaded database image", "path", *dbPath)
 		} else if !os.IsNotExist(underlying(err)) {
-			log.Fatalf("load %s: %v", *dbPath, err)
+			fatal(logger, "load database image", err)
 		}
 		if loaded, err := school.Load(schoolPath); err == nil {
 			sch = loaded
-			log.Printf("loaded school image %s", schoolPath)
+			logger.Info("loaded school image", "path", schoolPath)
 		} else if !os.IsNotExist(underlying(err)) {
-			log.Fatalf("load %s: %v", schoolPath, err)
+			fatal(logger, "load school image", err)
 		}
 	}
 	sys := mits.NewSystemFrom(*name, store, sch)
 
 	if !*noSamples {
 		if err := publishSamples(sys); err != nil {
-			log.Fatalf("publish samples: %v", err)
+			fatal(logger, "publish samples", err)
 		}
 		if err := sys.StockLibrary(); err != nil {
-			log.Fatalf("stock library: %v", err)
+			fatal(logger, "stock library", err)
 		}
 		if err := publishExercises(sys); err != nil {
-			log.Fatalf("publish exercises: %v", err)
+			fatal(logger, "publish exercises", err)
 		}
 	}
 
 	srv, bound, err := sys.ServeTCP(*addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal(logger, "listen", err)
+	}
+	var stats *obs.StatsServer
+	if *statsAddr != "" {
+		stats, err = obs.ServeStats(*statsAddr)
+		if err != nil {
+			fatal(logger, "stats listen", err)
+		}
+		logger.Info("stats endpoint up", "addr", stats.Addr)
 	}
 	docs, contents := sys.Store.Sizes()
-	log.Printf("%s serving on %s (%d documents, %d content objects)", *name, bound, docs, contents)
+	logger.Info("serving", "school", *name, "addr", bound, "documents", docs, "content_objects", contents)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down")
+	logger.Info("shutting down")
+	if stats != nil {
+		if err := stats.Close(); err != nil {
+			logger.Warn("close stats endpoint", "err", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
-		log.Printf("close listener: %v", err)
+		logger.Warn("close listener", "err", err)
 	}
 	if *dbPath != "" {
 		if err := sys.Store.Save(*dbPath); err != nil {
-			log.Printf("save %s: %v", *dbPath, err)
+			logger.Error("save database image", "path", *dbPath, "err", err)
 		} else {
-			log.Printf("saved database image %s", *dbPath)
+			logger.Info("saved database image", "path", *dbPath)
 		}
 		if err := sys.School.Save(schoolPath); err != nil {
-			log.Printf("save %s: %v", schoolPath, err)
+			logger.Error("save school image", "path", schoolPath, "err", err)
 		} else {
-			log.Printf("saved school image %s", schoolPath)
+			logger.Info("saved school image", "path", schoolPath)
 		}
 	}
+}
+
+// fatal logs a start-up failure and exits non-zero.
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 func publishSamples(sys *mits.System) error {

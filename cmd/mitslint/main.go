@@ -10,6 +10,7 @@
 //	errdrop    discarded errors from transport/mediastore I/O
 //	lifecycle  MHEG form (a)/(b)/(c) object life cycle violations
 //	sleepless  time.Sleep synchronization in non-test code
+//	logcheck   raw log.*/fmt.Print* output in internal packages
 //
 // Exit status is 1 when any diagnostic is reported, 2 on usage or
 // load errors. Suppress a finding with //mits:allow <analyzer> (or

@@ -1,0 +1,152 @@
+// Command obssmoke is the end-to-end check of the observability
+// subsystem, run by scripts/check.sh. In one process it wires the
+// mitsd system, serves it over real TCP, issues a traced
+// Get_Selected_Doc from a navigator-style DBClient, then scrapes the
+// stats HTTP endpoint and verifies the acceptance contract:
+//
+//   - the client and server spans of that one RPC appear in the
+//     exposition under a shared trace ID, server parented on client;
+//   - the transport and mediastore latency histograms report non-zero
+//     p50/p95/p99.
+//
+// Exit status 0 on success, 1 with a diagnosis on failure.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"mits"
+	"mits/internal/obs"
+	"mits/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+func run() error {
+	obs.SetSite("mitsd")
+
+	sys := mits.NewSystem("Smoke TeleSchool")
+	atmDoc, err := mits.SampleATMCourse()
+	if err != nil {
+		return err
+	}
+	if _, err := sys.PublishInteractive(atmDoc, mits.CourseInfo{
+		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
+		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm"},
+	}); err != nil {
+		return err
+	}
+
+	srv, bound, err := sys.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //mits:allow errdrop smoke teardown
+	stats, err := obs.ServeStats("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer stats.Close()
+
+	cli, err := transport.DialTCP(bound)
+	if err != nil {
+		return err
+	}
+	defer cli.Close() //mits:allow errdrop smoke teardown
+	db := transport.DBClient{C: cli}
+	doc, err := db.GetSelectedDoc("atm-course")
+	if err != nil {
+		return fmt.Errorf("GetSelectedDoc: %w", err)
+	}
+	if len(doc.Data) == 0 {
+		return fmt.Errorf("GetSelectedDoc returned an empty document")
+	}
+	trace := cli.LastTrace()
+	if trace == 0 {
+		return fmt.Errorf("client call produced no trace ID")
+	}
+
+	resp, err := http.Get("http://" + stats.Addr + "/stats")
+	if err != nil {
+		return fmt.Errorf("scrape /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(body)
+
+	return verify(text, trace)
+}
+
+// verify checks the scraped exposition text for the acceptance
+// contract around the given trace.
+func verify(text string, trace obs.TraceID) error {
+	var clientSpan, serverSpan bool
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "span ") || !strings.Contains(line, "trace="+trace.String()) {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "kind=client"):
+			clientSpan = true
+		case strings.Contains(line, "kind=server"):
+			serverSpan = true
+		}
+	}
+	if !clientSpan || !serverSpan {
+		return fmt.Errorf("trace %s: client span %v, server span %v — want both in the exposition", trace, clientSpan, serverSpan)
+	}
+
+	for _, h := range []string{
+		`hist transport_client_latency_ns{method="db.Get_Selected_Doc"}`,
+		`hist transport_server_latency_ns{method="db.Get_Selected_Doc"}`,
+		`hist mediastore_latency_ns{op="get_document"}`,
+	} {
+		line := findLine(text, h)
+		if line == "" {
+			return fmt.Errorf("exposition lacks %s", h)
+		}
+		for _, q := range []string{"p50_ns=", "p95_ns=", "p99_ns="} {
+			v := fieldValue(line, q)
+			if v <= 0 {
+				return fmt.Errorf("%s: %s%d is not positive in %q", h, q, v, line)
+			}
+		}
+	}
+	return nil
+}
+
+func findLine(text, prefix string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
+}
+
+// fieldValue extracts the integer following key ("p50_ns=") in a hist
+// line, or -1.
+func fieldValue(line, key string) int64 {
+	i := strings.Index(line, key)
+	if i < 0 {
+		return -1
+	}
+	var v int64
+	if _, err := fmt.Sscanf(line[i+len(key):], "%d", &v); err != nil {
+		return -1
+	}
+	return v
+}

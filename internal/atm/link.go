@@ -3,7 +3,18 @@ package atm
 import (
 	"time"
 
+	"mits/internal/obs"
 	"mits/internal/sim"
+)
+
+// Process-wide cell counters, cached so the per-cell cost is one
+// atomic add. Per-link breakdowns stay on the Link fields; the obs
+// counters answer "is the fabric dropping anything at all" at a
+// glance.
+var (
+	obsCellsSent      = obs.GetCounter("atm_cells_sent_total")
+	obsCellsDropped   = obs.GetCounter("atm_cells_dropped_total")
+	obsGCRAViolations = obs.GetCounter("atm_gcra_violations_total")
 )
 
 // node is anything a link can deliver cells to (switch or host).
@@ -74,11 +85,13 @@ func (l *Link) enqueue(c Cell, cat ServiceCategory, now sim.Time) {
 				l.queues[cat] = append(l.queues[cat][:i], l.queues[cat][i+1:]...)
 				l.queued--
 				l.drops++
+				obsCellsDropped.Inc()
 				l.net.noteDrop(victim.ConnID)
 			}
 		}
 		if len(l.queues[cat]) >= l.limit {
 			l.drops++
+			obsCellsDropped.Inc()
 			l.net.noteDrop(c.ConnID)
 			return
 		}
@@ -127,6 +140,7 @@ func (l *Link) transmitNext(now sim.Time) {
 	arrive := done.Add(l.prop)
 	l.net.clock.At(arrive, func(t sim.Time) {
 		l.carried++
+		obsCellsSent.Inc()
 		l.to.receive(c, l, t)
 	})
 	l.net.clock.At(done, func(t sim.Time) {

@@ -439,6 +439,7 @@ func (s *Switch) receive(cell Cell, on *Link, now sim.Time) {
 		if p, ok := s.policers[cell.ConnID]; ok {
 			if !p.Conforms(now) {
 				s.policed++
+				obsGCRAViolations.Inc()
 				conn := s.net.conns[cell.ConnID]
 				if conn != nil && conn.td.Category.RealTime() {
 					s.net.noteDrop(cell.ConnID)

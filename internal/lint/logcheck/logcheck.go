@@ -1,0 +1,88 @@
+// Package logcheck forbids raw log and stdout printing in the internal
+// packages.
+//
+// Every MITS site logs through the structured obs logger
+// (obs.Logger(component)), which stamps records with the component and
+// site and respects the process log level. A raw log.Printf bypasses
+// the level switch and the structured fields; a fmt.Printf to stdout
+// from a library corrupts the output of tools whose stdout is the
+// product (mitsgen, the exposition scrape). Commands under cmd/ own
+// their stdout and are exempt; so are tests (the loader only analyzes
+// non-test files). A deliberate exception takes //mits:allow logcheck
+// on the line.
+package logcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mits/internal/lint"
+)
+
+// Analyzer is the logcheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "logcheck",
+	Doc:  "forbid raw log.* and fmt.Print* output in internal packages",
+	Run:  run,
+}
+
+// flagged lists the package-level print functions that bypass the
+// structured logger: everything in log that writes to the default
+// logger, and the fmt functions that write to stdout. fmt.Sprintf,
+// fmt.Errorf and fmt.Fprintf stay legal — they build strings or write
+// where the caller points them.
+var flagged = map[string]map[string]bool{
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+}
+
+func run(pass *lint.Pass) error {
+	if !internalPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (a custom *log.Logger the caller built and aimed
+			// somewhere) are the caller's business; only the package-level
+			// default-logger and stdout functions are flagged.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if names := flagged[fn.Pkg().Path()]; names[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s in an internal package: log through obs.Logger, or annotate //mits:allow logcheck", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// internalPath reports whether the import path has an "internal"
+// segment — the library code the rule governs.
+func internalPath(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

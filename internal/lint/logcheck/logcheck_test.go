@@ -1,0 +1,11 @@
+package logcheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestLogcheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,29 @@
+// Package a exercises logcheck; its import path sits under internal/,
+// so the rule applies.
+package a
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Raw collects the flagged forms.
+func Raw(err error) {
+	log.Printf("request failed: %v", err) // want `log.Printf in an internal package`
+	log.Println("serving")                // want `log.Println in an internal package`
+	log.Fatalf("bind: %v", err)           // want `log.Fatalf in an internal package`
+	fmt.Println("loaded 3 documents")     // want `fmt.Println in an internal package`
+	fmt.Printf("at %d\n", 7)              // want `fmt.Printf in an internal package`
+}
+
+// Fine shows the accepted forms: building strings, writing to an
+// explicit destination, and the annotation.
+func Fine(w io.Writer, err error) string {
+	fmt.Fprintf(w, "report: %v\n", err)
+	fmt.Fprintln(os.Stderr, "fatal")
+	log.New(os.Stderr, "", 0).Println("custom logger, caller's choice")
+	log.Println("migration shim") //mits:allow logcheck
+	return fmt.Sprintf("%v", err)
+}

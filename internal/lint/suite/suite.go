@@ -6,6 +6,7 @@ import (
 	"mits/internal/lint/errdrop"
 	"mits/internal/lint/lifecycle"
 	"mits/internal/lint/lockcheck"
+	"mits/internal/lint/logcheck"
 	"mits/internal/lint/sleepless"
 )
 
@@ -16,5 +17,6 @@ func All() []*lint.Analyzer {
 		errdrop.Analyzer,
 		lifecycle.Analyzer,
 		sleepless.Analyzer,
+		logcheck.Analyzer,
 	}
 }

@@ -81,6 +81,18 @@ func (t *KeywordTree) remove(doc string, keywords []string) {
 	}
 }
 
+// Nodes counts the keyword paths in the index (tree nodes below the
+// root) — the size figure the obs gauge reports.
+func (t *KeywordTree) Nodes() int { return countNodes(t.root) - 1 }
+
+func countNodes(n *kwNode) int {
+	total := 1
+	for _, c := range n.children {
+		total += countNodes(c)
+	}
+	return total
+}
+
 // Find returns the sorted names of documents tagged at or below the
 // keyword path.
 func (t *KeywordTree) Find(keyword string) []string {

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
+
+	"mits/internal/obs"
 )
 
 // snapshotFile is the on-disk image of a store — MEDIAFILE's role of
@@ -25,6 +28,8 @@ type snapshotFile struct {
 // replace them with freshly-allocated slices, never mutate the backing
 // arrays.
 func (s *Store) Save(path string) error {
+	start := time.Now()
+	defer func() { obs.Observe("mediastore_latency_ns", time.Since(start), "op", "save") }()
 	s.mu.RLock()
 	snap := snapshotFile{}
 	for _, d := range s.docs {
@@ -59,6 +64,8 @@ func (s *Store) Save(path string) error {
 
 // Load reads a store image written by Save.
 func Load(path string) (*Store, error) {
+	start := time.Now()
+	defer func() { obs.Observe("mediastore_latency_ns", time.Since(start), "op", "load") }()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("mediastore: load: %w", err)
@@ -76,5 +83,8 @@ func Load(path string) (*Store, error) {
 	for _, c := range snap.Content {
 		s.content[c.Ref] = c
 	}
+	s.obsDocs.Set(int64(len(s.docs)))
+	s.obsContents.Set(int64(len(s.content)))
+	s.obsKeywords.Set(int64(s.keywords.Nodes()))
 	return s, nil
 }

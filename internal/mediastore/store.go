@@ -17,6 +17,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"mits/internal/obs"
 )
 
 // ErrNotFound is returned when a document or content object is absent.
@@ -53,6 +56,14 @@ type Store struct {
 	docReads     int64
 	contentReads int64
 	bytesOut     int64
+
+	// Cached obs instruments, set at construction (immutable —
+	// increments need no store lock). All stores in a process share
+	// the Default registry, which is what a content server wants: one
+	// exposition covering its whole database.
+	obsGetDoc, obsPutDoc, obsGetContent, obsPutContent *obs.Histogram
+	obsHits, obsMisses, obsBytes                       *obs.Counter
+	obsDocs, obsContents, obsKeywords                  *obs.Gauge
 }
 
 // New creates an empty store.
@@ -61,6 +72,17 @@ func New() *Store {
 		docs:     make(map[string]*DocRecord),
 		content:  make(map[string]*ContentRecord),
 		keywords: NewKeywordTree(),
+
+		obsGetDoc:     obs.GetHistogram("mediastore_latency_ns", "op", "get_document"),
+		obsPutDoc:     obs.GetHistogram("mediastore_latency_ns", "op", "put_document"),
+		obsGetContent: obs.GetHistogram("mediastore_latency_ns", "op", "get_content"),
+		obsPutContent: obs.GetHistogram("mediastore_latency_ns", "op", "put_content"),
+		obsHits:       obs.GetCounter("mediastore_lookup_hits_total"),
+		obsMisses:     obs.GetCounter("mediastore_lookup_misses_total"),
+		obsBytes:      obs.GetCounter("mediastore_bytes_out_total"),
+		obsDocs:       obs.GetGauge("mediastore_documents"),
+		obsContents:   obs.GetGauge("mediastore_content_objects"),
+		obsKeywords:   obs.GetGauge("mediastore_keyword_index_nodes"),
 	}
 }
 
@@ -74,6 +96,8 @@ func (s *Store) PutDocument(name, title, encoding string, data []byte, keywords 
 	if len(data) == 0 {
 		return 0, fmt.Errorf("mediastore: document %q with no data", name)
 	}
+	start := time.Now()
+	defer func() { s.obsPutDoc.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.docs[name]
@@ -89,18 +113,25 @@ func (s *Store) PutDocument(name, title, encoding string, data []byte, keywords 
 	rec.Data = append([]byte(nil), data...)
 	rec.Version++
 	s.keywords.add(name, keywords)
+	s.obsDocs.Set(int64(len(s.docs)))
+	s.obsKeywords.Set(int64(s.keywords.Nodes()))
 	return rec.Version, nil
 }
 
 // GetDocument retrieves a document by name (the Get_Selected_Doc API of
 // §5.3.2).
 func (s *Store) GetDocument(name string) (*DocRecord, error) {
+	start := time.Now()
+	defer func() { s.obsGetDoc.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.docs[name]
 	if !ok {
+		s.obsMisses.Inc()
 		return nil, fmt.Errorf("%w: document %q", ErrNotFound, name)
 	}
+	s.obsHits.Inc()
+	s.obsBytes.Add(int64(len(rec.Data)))
 	s.docReads++
 	s.bytesOut += int64(len(rec.Data))
 	cp := *rec
@@ -132,6 +163,8 @@ func (s *Store) DeleteDocument(name string) error {
 	}
 	s.keywords.remove(name, rec.Keywords)
 	delete(s.docs, name)
+	s.obsDocs.Set(int64(len(s.docs)))
+	s.obsKeywords.Set(int64(s.keywords.Nodes()))
 	return nil
 }
 
@@ -161,6 +194,8 @@ func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) 
 	if len(data) == 0 {
 		return fmt.Errorf("mediastore: content %q with no data", ref)
 	}
+	start := time.Now()
+	defer func() { s.obsPutContent.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.content[ref] = &ContentRecord{
@@ -169,17 +204,23 @@ func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) 
 		Keywords: append([]string(nil), keywords...),
 		Data:     append([]byte(nil), data...),
 	}
+	s.obsContents.Set(int64(len(s.content)))
 	return nil
 }
 
 // GetContent retrieves content data by reference.
 func (s *Store) GetContent(ref string) (*ContentRecord, error) {
+	start := time.Now()
+	defer func() { s.obsGetContent.Observe(time.Since(start)) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.content[ref]
 	if !ok {
+		s.obsMisses.Inc()
 		return nil, fmt.Errorf("%w: content %q", ErrNotFound, ref)
 	}
+	s.obsHits.Inc()
+	s.obsBytes.Add(int64(len(rec.Data)))
 	s.contentReads++
 	s.bytesOut += int64(len(rec.Data))
 	cp := *rec

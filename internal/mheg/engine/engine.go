@@ -15,6 +15,7 @@ import (
 
 	"mits/internal/mheg"
 	"mits/internal/mheg/codec"
+	"mits/internal/obs"
 	"mits/internal/sim"
 )
 
@@ -194,6 +195,14 @@ type Engine struct {
 	DisableCache bool
 
 	Stats Stats
+
+	// Cached obs counters for the interpretation hot paths (links and
+	// actions fire per status change); the three form-transition
+	// counters track a→b decode, b→c instantiation and c destruction.
+	// Per-class lifecycle counters go through the registry — lifecycle
+	// events are rare next to link traffic.
+	obsLinks, obsActions, obsFetches, obsCacheHits *obs.Counter
+	obsAtoB, obsBtoC, obsCGone                     *obs.Counter
 }
 
 type linkKey struct {
@@ -225,6 +234,14 @@ func New(clock *sim.Clock, opts ...Option) *Engine {
 		activeLinks:  make(map[linkKey][]*mheg.Link),
 		contentCache: make(map[string][]byte),
 		nextRT:       1,
+
+		obsLinks:     obs.GetCounter("mheg_links_fired_total"),
+		obsActions:   obs.GetCounter("mheg_actions_applied_total"),
+		obsFetches:   obs.GetCounter("mheg_content_fetches_total"),
+		obsCacheHits: obs.GetCounter("mheg_content_cache_hits_total"),
+		obsAtoB:      obs.GetCounter("mheg_form_transitions_total", "transition", "a_to_b"),
+		obsBtoC:      obs.GetCounter("mheg_form_transitions_total", "transition", "b_to_c"),
+		obsCGone:     obs.GetCounter("mheg_form_transitions_total", "transition", "c_destroyed"),
 	}
 	for _, o := range opts {
 		o(e)
@@ -246,6 +263,7 @@ func (e *Engine) Ingest(data []byte) (mheg.ID, error) {
 		return mheg.ID{}, err
 	}
 	e.Stats.ObjectsDecoded++
+	e.obsAtoB.Inc()
 	return obj.Base().ID, e.AddModel(obj)
 }
 
@@ -323,6 +341,8 @@ func (e *Engine) NewRT(model mheg.ID, channel string) (RTID, error) {
 	e.rts[rt.ID] = rt
 	e.byModel[model] = append(e.byModel[model], rt.ID)
 	e.Stats.RTCreated++
+	e.obsBtoC.Inc()
+	obs.GetCounter("mheg_rt_created_total", "class", obj.Base().Class.String()).Inc()
 
 	if comp, ok := obj.(*mheg.Composite); ok {
 		for _, cid := range comp.Components {
@@ -399,6 +419,10 @@ func (e *Engine) Delete(id RTID) {
 		}
 	}
 	e.Stats.RTDeleted++
+	e.obsCGone.Inc()
+	if obj, ok := e.models[rt.Model]; ok {
+		obs.GetCounter("mheg_rt_destroyed_total", "class", obj.Base().Class.String()).Inc()
+	}
 	e.emit(Event{Kind: EvDeleted, RT: id, Model: rt.Model, Channel: rt.Channel})
 }
 
@@ -447,6 +471,7 @@ func (e *Engine) statusChanged(rt *RTObject, attr mheg.StatusAttr, newValue mheg
 			continue
 		}
 		e.Stats.LinksFired++
+		e.obsLinks.Inc()
 		e.applyEffect(l)
 	}
 }
@@ -529,6 +554,7 @@ func (e *Engine) applyItems(items []mheg.ElementaryAction) {
 
 func (e *Engine) applyOne(item mheg.ElementaryAction) {
 	e.Stats.ActionsApplied++
+	e.obsActions.Inc()
 	for _, target := range item.Targets {
 		e.applyToTarget(item, target)
 	}
@@ -648,6 +674,9 @@ func (e *Engine) Run(id RTID) {
 	rt.Running = mheg.StatusRunning
 	rt.startedAt = e.clock.Now()
 	e.emit(Event{Kind: EvRan, RT: id, Model: rt.Model, Channel: rt.Channel})
+	if obj, ok := e.models[rt.Model]; ok {
+		obs.GetCounter("mheg_rt_run_total", "class", obj.Base().Class.String()).Inc()
+	}
 
 	switch obj := e.models[rt.Model].(type) {
 	case *mheg.Content:
@@ -843,6 +872,7 @@ func (e *Engine) fetchContent(c *mheg.Content) {
 	if !e.DisableCache {
 		if _, ok := e.contentCache[c.ContentRef]; ok {
 			e.Stats.CacheHits++
+			e.obsCacheHits.Inc()
 			return
 		}
 	}
@@ -851,6 +881,7 @@ func (e *Engine) fetchContent(c *mheg.Content) {
 		return
 	}
 	e.Stats.ContentFetches++
+	e.obsFetches.Inc()
 	e.Stats.BytesFetched += int64(len(data))
 	if !e.DisableCache {
 		e.contentCache[c.ContentRef] = data
@@ -873,6 +904,7 @@ func (e *Engine) ContentData(id mheg.ID) ([]byte, error) {
 	}
 	if data, ok := e.contentCache[c.ContentRef]; ok {
 		e.Stats.CacheHits++
+		e.obsCacheHits.Inc()
 		return data, nil
 	}
 	if e.resolver == nil {
@@ -883,6 +915,7 @@ func (e *Engine) ContentData(id mheg.ID) ([]byte, error) {
 		return nil, err
 	}
 	e.Stats.ContentFetches++
+	e.obsFetches.Inc()
 	e.Stats.BytesFetched += int64(len(data))
 	if !e.DisableCache {
 		e.contentCache[c.ContentRef] = data

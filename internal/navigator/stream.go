@@ -6,6 +6,7 @@ import (
 
 	"mits/internal/atm"
 	"mits/internal/media"
+	"mits/internal/obs"
 	"mits/internal/sim"
 )
 
@@ -74,6 +75,11 @@ func (p *StreamPlayer) Deliver(pdu []byte, _, now sim.Time) {
 // Finish scores the playback once the clock has drained: frame i's
 // presentation deadline is firstArrival + buffer + i·frameDur.
 func (p *StreamPlayer) Finish(frames []media.Frame) *StreamStats {
+	defer func() {
+		obs.GetCounter("navigator_frames_total").Add(int64(p.stats.Frames))
+		obs.GetCounter("navigator_frames_delivered_total").Add(int64(p.stats.Delivered))
+		obs.GetCounter("navigator_deadline_misses_total").Add(int64(p.stats.DeadlineMisses))
+	}()
 	p.stats.Frames = len(frames)
 	if len(frames) == 0 || !p.started {
 		p.stats.DeadlineMisses = p.stats.Frames

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WriteText renders the registry in the line-oriented text exposition
+// format (one metric per line, deterministic order):
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	hist <name> count=<n> sum_ns=<n> p50_ns=<n> p95_ns=<n> p99_ns=<n>
+//	span name=<q> kind=<k> trace=<16hex> id=<16hex> parent=<16hex> dur_ns=<n> err=<q>
+//
+// Durations are integral nanoseconds so the output is parseable with
+// nothing smarter than a split. The span section holds the most
+// recent finished spans (ring of 256), oldest first.
+func (r *Registry) WriteText(w io.Writer) error {
+	if site := r.Site(); site != "" {
+		if _, err := fmt.Fprintf(w, "# mits exposition site=%s\n", site); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Counters() {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name(), c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.Gauges() {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", g.Name(), g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		s := h.Snapshot()
+		if _, err := fmt.Fprintf(w, "hist %s count=%d sum_ns=%d p50_ns=%d p95_ns=%d p99_ns=%d\n",
+			s.Name, s.Count, int64(s.Sum), int64(s.P50), int64(s.P95), int64(s.P99)); err != nil {
+			return err
+		}
+	}
+	for _, sp := range r.Spans() {
+		if _, err := fmt.Fprintf(w, "span name=%q kind=%s trace=%s id=%s parent=%s dur_ns=%d err=%q\n",
+			sp.Name, sp.Kind, sp.Trace, sp.ID, sp.Parent, int64(sp.Dur), sp.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP handler serving the text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w) // a scraper that hung up mid-read is its own problem
+	})
+}
+
+// expvarOnce guards the process-global expvar namespace: Publish
+// panics on duplicates, and tests may wire several servers.
+var expvarOnce sync.Once
+
+// PublishExpvar mirrors the Default registry into expvar under the
+// "mits" variable, so the standard /debug/vars endpoint carries the
+// same numbers as /stats. Safe to call repeatedly.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("mits", expvar.Func(func() any {
+			out := make(map[string]any)
+			for _, c := range Default.Counters() {
+				out[c.Name()] = c.Value()
+			}
+			for _, g := range Default.Gauges() {
+				out[g.Name()] = g.Value()
+			}
+			for _, h := range Default.Histograms() {
+				s := h.Snapshot()
+				out[s.Name] = map[string]int64{
+					"count": s.Count, "sum_ns": int64(s.Sum),
+					"p50_ns": int64(s.P50), "p95_ns": int64(s.P95), "p99_ns": int64(s.P99),
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// StatsServer is a running stats HTTP endpoint.
+type StatsServer struct {
+	Addr string // bound address, e.g. "127.0.0.1:7122"
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Close shuts the endpoint down immediately.
+func (s *StatsServer) Close() error { return s.srv.Close() }
+
+// ServeStats exposes the Default registry over HTTP on addr
+// ("127.0.0.1:0" picks a free port): GET /stats returns the text
+// exposition, /debug/vars the expvar mirror, /healthz a bare 200.
+func ServeStats(addr string) (*StatsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: stats listen: %w", err)
+	}
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/stats", Default.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	s := &StatsServer{
+		Addr: lis.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis:  lis,
+	}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}

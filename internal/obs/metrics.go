@@ -1,0 +1,42 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count. The zero-cost
+// path is one atomic add; callers on per-cell or per-event hot loops
+// should fetch the counter once and cache the pointer.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name reports the full exposition name (labels rendered).
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; counters only grow).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level: queue depth, index size, open
+// connections. Unlike a counter it moves both ways.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name reports the full exposition name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by a delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

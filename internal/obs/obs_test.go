@@ -1,0 +1,241 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mits/internal/obs"
+)
+
+// TestHistogramBucketBoundaries pins the `le` (inclusive upper bound)
+// bucket semantics: an observation exactly on a bound lands in that
+// bound's bucket, one nanosecond above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("b")
+	for i := 0; i < obs.NumBuckets(); i++ {
+		h.Observe(obs.BucketBound(i))
+	}
+	for i := 0; i < obs.NumBuckets(); i++ {
+		if got := h.BucketCount(i); got != 1 {
+			t.Errorf("bucket %d (le %v): count %d, want 1", i, obs.BucketBound(i), got)
+		}
+	}
+
+	h2 := r.Histogram("b2")
+	for i := 0; i < obs.NumBuckets(); i++ {
+		h2.Observe(obs.BucketBound(i) + 1)
+	}
+	if got := h2.BucketCount(0); got != 0 {
+		t.Errorf("bound+1ns stayed in bucket 0 (count %d)", got)
+	}
+	// The observation above the last finite bound must land in overflow.
+	if got := h2.BucketCount(obs.NumBuckets()); got != 1 {
+		t.Errorf("overflow bucket count %d, want 1", got)
+	}
+
+	// Zero and negative observations both belong to the first bucket.
+	h3 := r.Histogram("b3")
+	h3.Observe(0)
+	h3.Observe(-time.Second)
+	if got := h3.BucketCount(0); got != 2 {
+		t.Errorf("zero/negative observations in bucket 0: %d, want 2", got)
+	}
+	if h3.Sum() != 0 {
+		t.Errorf("negative observation corrupted sum: %v", h3.Sum())
+	}
+}
+
+// TestHistogramQuantiles checks the interpolated percentiles are
+// ordered, bracketed by the owning bucket, and zero on empty.
+func TestHistogramQuantiles(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("q")
+	if s := h.Snapshot(); s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Count != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+	// 100 observations of ~1.5µs: every percentile must sit in the
+	// (1µs, 2µs] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	for _, p := range []time.Duration{s.P50, s.P95, s.P99} {
+		if p <= time.Microsecond || p > 2*time.Microsecond {
+			t.Errorf("percentile %v outside owning bucket (1µs, 2µs]", p)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("percentiles unordered: %v %v %v", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestConcurrentCounters hammers one counter and one histogram from
+// many goroutines; run under -race this is the data-race gate, and the
+// final counts must be exact (atomics lose nothing).
+func TestConcurrentCounters(t *testing.T) {
+	r := obs.NewRegistry()
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve by name every time: the lookup path is shared state
+			// too.
+			for i := 0; i < each; i++ {
+				r.Counter("hits", "shard", "s1").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits", "shard", "s1").Value(); got != workers*each {
+		t.Errorf("counter lost increments: %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("depth").Value(); got != workers*each {
+		t.Errorf("gauge lost adds: %d, want %d", got, workers*each)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*each {
+		t.Errorf("histogram lost observations: %d, want %d", got, workers*each)
+	}
+}
+
+// TestMetricNames checks label rendering and identity: same
+// name+labels, same instrument.
+func TestMetricNames(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Counter("rpcs", "method", "get", "site", "db")
+	if a.Name() != `rpcs{method="get",site="db"}` {
+		t.Errorf("rendered name %q", a.Name())
+	}
+	if b := r.Counter("rpcs", "method", "get", "site", "db"); a != b {
+		t.Error("same name+labels produced distinct counters")
+	}
+	if c := r.Counter("rpcs", "method", "put", "site", "db"); a == c {
+		t.Error("different labels produced the same counter")
+	}
+	// A dangling label key degrades to the bare name, never panics.
+	if d := r.Counter("odd", "key"); d.Name() != "odd" {
+		t.Errorf("odd labels rendered %q", d.Name())
+	}
+}
+
+// TestSpansAndRing covers trace identity, parentage, idempotent End,
+// nil-safety, and the exposition ring.
+func TestSpansAndRing(t *testing.T) {
+	r := obs.NewRegistry()
+	client := r.StartSpan("db.Get_Selected_Doc", "client")
+	if client.Trace == 0 || client.ID == 0 {
+		t.Fatalf("span minted zero IDs: %+v", client)
+	}
+	server := r.ContinueSpan("db.Get_Selected_Doc", "server", client.Trace, client.ID)
+	if server.Trace != client.Trace {
+		t.Errorf("server joined trace %s, want %s", server.Trace, client.Trace)
+	}
+	if server.Parent != client.ID {
+		t.Errorf("server parent %s, want %s", server.Parent, client.ID)
+	}
+	server.End(nil)
+	client.End(nil)
+	client.End(nil) // second End must not double-record
+
+	spans := r.SpansOf(client.Trace)
+	if len(spans) != 2 {
+		t.Fatalf("SpansOf returned %d spans, want 2", len(spans))
+	}
+	if h := r.Histogram("span_ns", "span", "db.Get_Selected_Doc", "kind", "client"); h.Count() != 1 {
+		t.Errorf("client span histogram count %d, want 1", h.Count())
+	}
+
+	// A zero trace in ContinueSpan (untraced peer) starts a new trace.
+	fresh := r.ContinueSpan("m", "server", 0, 0)
+	if fresh.Trace == 0 {
+		t.Error("ContinueSpan with zero trace minted no trace")
+	}
+
+	// A nil span (untraced request path) must be inert.
+	var nilSpan *obs.Span
+	nilSpan.End(nil)
+
+	// The ring keeps only the most recent spans, oldest first.
+	for i := 0; i < 300; i++ {
+		r.StartSpan("fill", "client").End(nil)
+	}
+	all := r.Spans()
+	if len(all) != 256 {
+		t.Fatalf("ring holds %d spans, want 256", len(all))
+	}
+	for _, sp := range all[len(all)-250:] {
+		if sp.Name != "fill" {
+			t.Fatalf("recent ring entry is %q, want fill", sp.Name)
+		}
+	}
+}
+
+// TestWriteText checks the exposition format end to end on a private
+// registry.
+func TestWriteText(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetSite("testsite")
+	r.Counter("reqs", "method", "get").Add(3)
+	r.Gauge("docs").Set(7)
+	r.Histogram("lat").Observe(5 * time.Microsecond)
+	sp := r.StartSpan("m", "client")
+	sp.End(nil)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# mits exposition site=testsite\n",
+		`counter reqs{method="get"} 3` + "\n",
+		"gauge docs 7\n",
+		"hist lat count=1",
+		"trace=" + sp.Trace.String(),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	// Every line must parse as one of the four record kinds.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# "), strings.HasPrefix(line, "counter "),
+			strings.HasPrefix(line, "gauge "), strings.HasPrefix(line, "hist "),
+			strings.HasPrefix(line, "span "):
+		default:
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestLogger checks the structured logger carries component and site
+// and respects the dynamic level.
+func TestLogger(t *testing.T) {
+	r := obs.NewRegistry()
+	var buf bytes.Buffer
+	r.SetLogOutput(&buf)
+	r.SetSite("navsite")
+
+	r.Logger("engine").Info("suppressed below default level")
+	if buf.Len() != 0 {
+		t.Fatalf("Info logged at default Warn level: %q", buf.String())
+	}
+	r.Logger("engine").Warn("object rejected", "id", "x/1")
+	out := buf.String()
+	for _, want := range []string{"component=engine", "site=navsite", "object rejected", "id=x/1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log record lacks %q: %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// TraceID identifies one distributed request end to end. It is minted
+// at the first client span and propagated through the transport frame
+// header so every site touched by the request records spans under the
+// same ID.
+type TraceID uint64
+
+// String renders the canonical 16-hex-digit form used in exposition
+// output and frame logs.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the 16-hex-digit form.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// Span is one timed operation within a trace: an RPC issue on the
+// client, its handling on the server, a database lookup beneath it.
+// Spans are cheap (no allocation beyond the struct) and must be closed
+// with End exactly once.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a trace's root span
+	Name   string // operation, e.g. the RPC method
+	Kind   string // "client", "server", "internal"
+	Start  time.Time
+	Dur    time.Duration // set by End
+	Err    string        // set by End on failure
+
+	reg   *Registry
+	ended bool
+}
+
+// StartSpan opens the root span of a brand-new trace.
+func (r *Registry) StartSpan(name, kind string) *Span {
+	return r.newSpan(name, kind, TraceID(nonZero(rand.Uint64())), 0)
+}
+
+// ContinueSpan opens a span inside an existing trace, typically on the
+// serving side of an RPC whose frame header carried the IDs.
+func (r *Registry) ContinueSpan(name, kind string, trace TraceID, parent SpanID) *Span {
+	if trace == 0 {
+		return r.StartSpan(name, kind)
+	}
+	return r.newSpan(name, kind, trace, parent)
+}
+
+func (r *Registry) newSpan(name, kind string, trace TraceID, parent SpanID) *Span {
+	return &Span{
+		Trace:  trace,
+		ID:     SpanID(nonZero(r.nextSpan.Add(1))), //mits:nolock atomic counter
+		Parent: parent,
+		Name:   name,
+		Kind:   kind,
+		Start:  time.Now(),
+		reg:    r,
+	}
+}
+
+// nonZero keeps zero free as the "no trace" sentinel of the frame
+// header.
+func nonZero(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// End closes the span: its duration lands in the span_ns histogram
+// (per operation and kind) and the finished span enters the ring
+// buffer the exposition endpoint prints. End is idempotent; err may be
+// nil. A nil span is a no-op, so callers on untraced paths need no
+// branches.
+func (s *Span) End(err error) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Dur = time.Since(s.Start)
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.reg.Histogram("span_ns", "span", s.Name, "kind", s.Kind).Observe(s.Dur)
+	s.reg.recordSpan(s)
+}
+
+func (r *Registry) recordSpan(s *Span) {
+	r.spanMu.Lock()
+	r.spans[r.spanHead] = s
+	r.spanHead = (r.spanHead + 1) % spanRingSize
+	if r.spanLen < spanRingSize {
+		r.spanLen++
+	}
+	r.spanMu.Unlock()
+}
+
+// Spans returns the finished spans still in the ring buffer, oldest
+// first.
+func (r *Registry) Spans() []*Span {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]*Span, 0, r.spanLen)
+	start := (r.spanHead - r.spanLen + spanRingSize) % spanRingSize
+	for i := 0; i < r.spanLen; i++ {
+		out = append(out, r.spans[(start+i)%spanRingSize])
+	}
+	return out
+}
+
+// SpansOf filters the ring buffer to one trace, oldest first — the
+// cross-site "follow one GetDocument" view.
+func (r *Registry) SpansOf(trace TraceID) []*Span {
+	var out []*Span
+	for _, s := range r.Spans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

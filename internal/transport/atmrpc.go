@@ -5,8 +5,13 @@ import (
 	"time"
 
 	"mits/internal/atm"
+	"mits/internal/obs"
 	"mits/internal/sim"
 )
+
+// obsATMBytes counts framed bytes moved over ATM sessions in either
+// direction (cached: one atomic add per message).
+var obsATMBytes = obs.GetCounter("transport_atm_bytes_total")
 
 // ATMSession is the request/response protocol carried over a pair of
 // simulated ATM virtual connections — one per direction. It is the
@@ -123,13 +128,30 @@ func OpenATMSession(n *atm.Network, client, server *atm.Host, h Handler, opts AT
 }
 
 // Go issues a request; cb runs (in virtual time) when the response
-// arrives. Run the network clock to make progress.
+// arrives. Run the network clock to make progress. Like the TCP
+// client, each request opens a trace whose IDs ride the frame header;
+// the RPC latency histogram is measured on the network's virtual
+// clock, which is the latency the experiments reason about.
 func (s *ATMSession) Go(method string, payload []byte, cb func(payload []byte, err error)) error {
 	s.nextID++
-	f := &frame{kind: kindRequest, id: s.nextID, method: method, payload: payload}
-	s.pending[f.id] = cb
+	sp := obs.StartSpan(method, "client")
+	issued := s.net.Clock().Now()
+	f := &frame{
+		kind: kindRequest, id: s.nextID, method: method, payload: payload,
+		trace: uint64(sp.Trace), span: uint64(sp.ID),
+	}
+	s.pending[f.id] = func(p []byte, err error) {
+		sp.End(err)
+		obs.Observe("transport_atm_rpc_latency_ns", s.net.Clock().Now().Sub(issued), "method", method)
+		obs.GetCounter("transport_atm_rpcs_total", "method", method).Inc()
+		if err != nil {
+			obs.GetCounter("transport_atm_errors_total", "method", method).Inc()
+		}
+		cb(p, err)
+	}
 	body := f.marshal()
 	s.reqBytes += int64(len(body))
+	obsATMBytes.Add(int64(len(body)))
 	return sendChunked(s.c2s, body)
 }
 
@@ -143,14 +165,20 @@ func (s *ATMSession) onRequest(pdu []byte, _, _ sim.Time) {
 		return // corrupt request: the client will never hear back
 	}
 	respond := func(sim.Time) {
+		var sp *obs.Span
+		if req.trace != 0 {
+			sp = obs.ContinueSpan(req.method, "server", obs.TraceID(req.trace), obs.SpanID(req.span))
+		}
 		payload, herr := s.handler.Handle(req.method, req.payload)
-		resp := &frame{kind: kindResponse, id: req.id, payload: payload}
+		sp.End(herr)
+		resp := &frame{kind: kindResponse, id: req.id, trace: req.trace, span: req.span, payload: payload}
 		if herr != nil {
 			resp.errText = herr.Error()
 			resp.payload = nil
 		}
 		body := resp.marshal()
 		s.rspBytes += int64(len(body))
+		obsATMBytes.Add(int64(len(body)))
 		sendChunked(s.s2c, body) //mits:allow errdrop closed session drops responses
 	}
 	if s.ServiceTime > 0 {

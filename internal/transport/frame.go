@@ -20,19 +20,30 @@ import (
 // database API layer.
 const MaxFrame = 16 << 20
 
-// frameKind distinguishes requests from responses on a duplex carrier.
+// frameKind distinguishes requests from responses on a duplex carrier,
+// and doubles as the header version: the v1 kinds carry no trace
+// fields, the v2 kinds insert a 16-byte trace context (trace ID + span
+// ID) between the frame id and the name. Decoders accept both, so
+// pre-upgrade peers and persisted frames keep working; encoders emit
+// v2 exactly when a trace is attached, which keeps untraced wire
+// bytes identical to the v1 format.
 type frameKind byte
 
 const (
 	kindRequest frameKind = iota + 1
 	kindResponse
+	kindRequestV2
+	kindResponseV2
 )
 
 // frame is the wire unit: id pairs responses to requests, method names
 // the operation (requests) and errText carries failure (responses).
+// trace/span carry the obs trace context (zero = untraced).
 type frame struct {
 	kind    frameKind
 	id      uint64
+	trace   uint64
+	span    uint64
 	method  string // requests
 	errText string // responses
 	payload []byte
@@ -45,9 +56,22 @@ func (f *frame) marshal() []byte {
 	if f.kind == kindResponse {
 		name = f.errText
 	}
-	buf := make([]byte, 0, 1+8+4+len(name)+4+len(f.payload))
-	buf = append(buf, byte(f.kind))
+	traced := f.trace != 0
+	size := 1 + 8 + 4 + len(name) + 4 + len(f.payload)
+	if traced {
+		size += 16
+	}
+	buf := make([]byte, 0, size)
+	kind := f.kind
+	if traced {
+		kind += kindRequestV2 - kindRequest
+	}
+	buf = append(buf, byte(kind))
 	buf = binary.BigEndian.AppendUint64(buf, f.id)
+	if traced {
+		buf = binary.BigEndian.AppendUint64(buf, f.trace)
+		buf = binary.BigEndian.AppendUint64(buf, f.span)
+	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(name)))
 	buf = append(buf, name...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.payload)))
@@ -62,10 +86,21 @@ func unmarshalFrame(data []byte) (*frame, error) {
 		return nil, errBadFrame
 	}
 	f := &frame{kind: frameKind(data[0]), id: binary.BigEndian.Uint64(data[1:])}
-	if f.kind != kindRequest && f.kind != kindResponse {
+	off := 9
+	switch f.kind {
+	case kindRequest, kindResponse:
+		// v1: no trace context.
+	case kindRequestV2, kindResponseV2:
+		if len(data) < 1+8+16+4 {
+			return nil, errBadFrame
+		}
+		f.trace = binary.BigEndian.Uint64(data[off:])
+		f.span = binary.BigEndian.Uint64(data[off+8:])
+		f.kind -= kindRequestV2 - kindRequest
+		off += 16
+	default:
 		return nil, fmt.Errorf("%w: kind %d", errBadFrame, f.kind)
 	}
-	off := 9
 	nameLen := int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
 	if nameLen < 0 || off+nameLen+4 > len(data) {

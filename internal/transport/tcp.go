@@ -7,6 +7,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"mits/internal/obs"
+)
+
+// Process-wide transport byte counters, cached at init so the
+// per-frame cost is one atomic add (the map lookup happens once).
+var (
+	obsBytesTx = obs.GetCounter("transport_bytes_tx_total")
+	obsBytesRx = obs.GetCounter("transport_bytes_rx_total")
 )
 
 // writeFrame sends one length-prefixed frame.
@@ -21,6 +31,9 @@ func writeFrame(w io.Writer, f *frame) error {
 		return err
 	}
 	_, err := w.Write(body)
+	if err == nil {
+		obsBytesTx.Add(int64(4 + len(body)))
+	}
 	return err
 }
 
@@ -38,6 +51,7 @@ func readFrame(r io.Reader) (*frame, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
+	obsBytesRx.Add(int64(4 + len(body)))
 	return unmarshalFrame(body)
 }
 
@@ -120,8 +134,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if req.kind != kindRequest {
 			return
 		}
+		// Server span: joins the trace the client stamped into the
+		// frame header (nil span when the request is untraced).
+		var sp *obs.Span
+		if req.trace != 0 {
+			sp = obs.ContinueSpan(req.method, "server", obs.TraceID(req.trace), obs.SpanID(req.span))
+		}
+		start := time.Now()
 		payload, herr := s.handler.Handle(req.method, req.payload)
-		resp := &frame{kind: kindResponse, id: req.id, payload: payload}
+		obs.Observe("transport_server_latency_ns", time.Since(start), "method", req.method)
+		obs.GetCounter("transport_server_rpcs_total", "method", req.method).Inc()
+		if herr != nil {
+			obs.GetCounter("transport_server_errors_total", "method", req.method).Inc()
+		}
+		sp.End(herr)
+		// Echo the trace context so the client side can correlate the
+		// response it is blocked on.
+		resp := &frame{kind: kindResponse, id: req.id, trace: req.trace, span: req.span, payload: payload}
 		if herr != nil {
 			resp.errText = herr.Error()
 			resp.payload = nil
@@ -157,9 +186,10 @@ func (s *TCPServer) Close() error {
 // issues one call at a time per connection, like the thesis's
 // Client() routine.
 type TCPClient struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
+	mu        sync.Mutex
+	conn      net.Conn
+	nextID    uint64
+	lastTrace obs.TraceID // trace ID of the most recent Call
 
 	closeOnce sync.Once
 	closeErr  error
@@ -174,12 +204,31 @@ func DialTCP(addr string) (*TCPClient, error) {
 	return &TCPClient{conn: conn}, nil
 }
 
-// Call implements Client: send a request, wait for its response.
+// Call implements Client: send a request, wait for its response. Every
+// call opens a fresh trace whose IDs travel in the frame header, so
+// the server's span lands in the same trace as the client's.
 func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	req := &frame{kind: kindRequest, id: c.nextID, method: method, payload: payload}
+	sp := obs.StartSpan(method, "client")
+	c.lastTrace = sp.Trace
+	req := &frame{
+		kind: kindRequest, id: c.nextID, method: method, payload: payload,
+		trace: uint64(sp.Trace), span: uint64(sp.ID),
+	}
+	payload, err := c.roundTrip(req)
+	sp.End(err)
+	obs.Observe("transport_client_latency_ns", sp.Dur, "method", method)
+	obs.GetCounter("transport_client_rpcs_total", "method", method).Inc()
+	if err != nil {
+		obs.GetCounter("transport_client_errors_total", "method", method).Inc()
+	}
+	return payload, err
+}
+
+// roundTrip is the untimed core of Call.
+func (c *TCPClient) roundTrip(req *frame) ([]byte, error) {
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -191,9 +240,18 @@ func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("transport: response id %d for request %d", resp.id, req.id)
 	}
 	if resp.errText != "" {
-		return nil, &RemoteError{Method: method, Text: resp.errText}
+		return nil, &RemoteError{Method: req.method, Text: resp.errText}
 	}
 	return resp.payload, nil
+}
+
+// LastTrace reports the trace ID of the most recent Call — the handle
+// a navigator prints so an operator can find the same request in the
+// server's span exposition.
+func (c *TCPClient) LastTrace() obs.TraceID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTrace
 }
 
 // Close implements Client. It deliberately does not take c.mu, so it

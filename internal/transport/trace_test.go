@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mits/internal/obs"
+)
+
+// preUpgradeRequestFrame builds the exact byte layout the v1 encoder
+// produced before the trace-ID field existed:
+// kind(1) id(8) nameLen(4) name payLen(4) payload.
+func preUpgradeRequestFrame(id uint64, method string, payload []byte) []byte {
+	buf := []byte{byte(kindRequest)}
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(method)))
+	buf = append(buf, method...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// TestFrameDecodesPreUpgradeEncoding is the frame-versioning
+// regression test: a frame encoded before the header grew the trace
+// context must still decode, field for field.
+func TestFrameDecodesPreUpgradeEncoding(t *testing.T) {
+	raw := preUpgradeRequestFrame(7, "db.Get_Selected_Doc", []byte("payload"))
+	f, err := unmarshalFrame(raw)
+	if err != nil {
+		t.Fatalf("pre-upgrade frame rejected: %v", err)
+	}
+	if f.kind != kindRequest || f.id != 7 || f.method != "db.Get_Selected_Doc" || string(f.payload) != "payload" {
+		t.Fatalf("pre-upgrade frame mangled: %+v", f)
+	}
+	if f.trace != 0 || f.span != 0 {
+		t.Fatalf("pre-upgrade frame grew a trace context: trace=%d span=%d", f.trace, f.span)
+	}
+}
+
+// TestFrameUntracedEncodingIsV1 pins the compatibility contract from
+// the other side: a frame without a trace context must marshal to the
+// v1 byte layout, so an un-upgraded peer can still parse what we send.
+func TestFrameUntracedEncodingIsV1(t *testing.T) {
+	f := &frame{kind: kindRequest, id: 7, method: "db.Get_Selected_Doc", payload: []byte("payload")}
+	want := preUpgradeRequestFrame(7, "db.Get_Selected_Doc", []byte("payload"))
+	if got := f.marshal(); !bytes.Equal(got, want) {
+		t.Fatalf("untraced frame encoding drifted from v1:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestFrameV2RoundTrip checks the trace context survives the new
+// encoding in both kinds.
+func TestFrameV2RoundTrip(t *testing.T) {
+	for _, kind := range []frameKind{kindRequest, kindResponse} {
+		f := &frame{kind: kind, id: 9, trace: 0xdeadbeefcafe, span: 42, payload: []byte{1, 2, 3}}
+		if kind == kindRequest {
+			f.method = "db.GetContent"
+		} else {
+			f.errText = "boom"
+		}
+		got, err := unmarshalFrame(f.marshal())
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if got.kind != kind || got.trace != f.trace || got.span != f.span || got.id != 9 {
+			t.Fatalf("kind %d round trip mangled: %+v", kind, got)
+		}
+	}
+}
+
+// TestFrameV2Truncated makes sure a v2 kind with a short body errors
+// instead of reading out of bounds.
+func TestFrameV2Truncated(t *testing.T) {
+	f := &frame{kind: kindRequest, id: 1, trace: 5, span: 6, method: "m"}
+	raw := f.marshal()
+	for n := 1; n < 1+8+16+4; n++ {
+		if _, err := unmarshalFrame(raw[:n]); err == nil {
+			t.Fatalf("truncated v2 frame of %d bytes decoded", n)
+		}
+	}
+}
+
+// TestTraceAcrossTCP drives a real TCP round trip and checks the
+// client and server spans land in the registry under one shared trace
+// ID, with the server span parented on the client span — the
+// acceptance path for following one GetDocument across sites.
+func TestTraceAcrossTCP(t *testing.T) {
+	mux := NewMux()
+	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if _, err := cli.Call("echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	trace := cli.LastTrace()
+	if trace == 0 {
+		t.Fatal("client call left no trace ID")
+	}
+
+	spans := obs.Default.SpansOf(trace)
+	var client, server *obs.Span
+	for _, s := range spans {
+		switch s.Kind {
+		case "client":
+			client = s
+		case "server":
+			server = s
+		}
+	}
+	if client == nil || server == nil {
+		t.Fatalf("want client+server spans for trace %s, got %d spans", trace, len(spans))
+	}
+	if client.Name != "echo" || server.Name != "echo" {
+		t.Fatalf("span names: client=%q server=%q", client.Name, server.Name)
+	}
+	if server.Parent != client.ID {
+		t.Fatalf("server span parent %s, want client span %s", server.Parent, client.ID)
+	}
+	if client.Dur <= 0 || server.Dur < 0 {
+		t.Fatalf("span durations not recorded: client=%v server=%v", client.Dur, server.Dur)
+	}
+
+	// The latency histograms fed by the same round trip must be
+	// non-empty on both sides.
+	for _, name := range []string{"transport_client_latency_ns", "transport_server_latency_ns"} {
+		h := obs.GetHistogram(name, "method", "echo")
+		if h.Count() == 0 {
+			t.Fatalf("%s empty after a round trip", name)
+		}
+		if s := h.Snapshot(); s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 {
+			t.Fatalf("%s percentiles inconsistent: %+v", name, s)
+		}
+	}
+}
+
+// TestTraceAcrossATM checks trace propagation on the experiment-path
+// carrier too: the server span recorded while handling an ATM RPC
+// joins the trace opened by Go.
+func TestTraceAcrossATM(t *testing.T) {
+	n, client, server := atmTestNet(t)
+	mux := NewMux()
+	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	sess, err := OpenATMSession(n, client, server, mux, ATMSessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	before := len(obs.Default.Spans())
+	if _, err := sess.CallOver("echo", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	var trace obs.TraceID
+	for _, s := range obs.Default.Spans()[before:] {
+		if s.Name == "echo" && s.Kind == "client" {
+			trace = s.Trace
+		}
+	}
+	if trace == 0 {
+		t.Fatal("no client span recorded for the ATM call")
+	}
+	foundServer := false
+	for _, s := range obs.Default.SpansOf(trace) {
+		if s.Kind == "server" {
+			foundServer = true
+		}
+	}
+	if !foundServer {
+		t.Fatalf("trace %s has no server span on the ATM path", trace)
+	}
+}

@@ -19,4 +19,16 @@ go run ./cmd/mitslint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Observability gate: the obs package under the race detector, the
+# end-to-end traced-RPC smoke (TCP round trip + stats scrape), and the
+# transport latency baseline written to BENCH_obs.json.
+echo "==> go test -race ./internal/obs/"
+go test -race ./internal/obs/
+
+echo "==> go run ./cmd/obssmoke"
+go run ./cmd/obssmoke
+
+echo "==> go test -run=NONE -bench=BenchmarkE27 ."
+go test -run=NONE -bench=BenchmarkE27 .
+
 echo "==> all checks passed"

@@ -15,6 +15,14 @@ check:
 lint:
 	go run ./cmd/mitslint ./...
 
+# The decoder fuzzers, 10s each (sequential: fuzzing owns all CPUs).
+.PHONY: fuzz
+fuzz:
+	go test -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/transport/
+	go test -fuzz=FuzzAAL5Reassemble -fuzztime=10s ./internal/atm/
+	go test -fuzz=FuzzMHEGDecode -fuzztime=10s ./internal/mheg/codec/
+	go test -fuzz=FuzzMarkupParse -fuzztime=10s ./internal/markup/
+
 # The experiment benchmarks (E1–E24 plus the E27 obs baseline).
 .PHONY: bench
 bench:

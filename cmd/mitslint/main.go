@@ -6,22 +6,32 @@
 //
 // Analyzers (see internal/lint/<name> for the full contract):
 //
-//	lockcheck  unguarded field access on mutex-protected structs
-//	errdrop    discarded errors from transport/mediastore I/O
-//	lifecycle  MHEG form (a)/(b)/(c) object life cycle violations
-//	sleepless  time.Sleep synchronization in non-test code
-//	logcheck   raw log.*/fmt.Print* output in internal packages
+//	lockcheck   unguarded field access on mutex-protected structs
+//	errdrop     discarded errors from transport/mediastore I/O
+//	lifecycle   MHEG form (a)/(b)/(c) object life cycle violations
+//	sleepless   time.Sleep synchronization in non-test code
+//	logcheck    raw log.*/fmt.Print* output in internal packages
+//	goleak      goroutine launches with no reachable stop path
+//	closecheck  closeable values never closed and never escaping
+//	boundscheck unguarded []byte indexing in decode paths
 //
-// Exit status is 1 when any diagnostic is reported, 2 on usage or
-// load errors. Suppress a finding with //mits:allow <analyzer> (or
-// //mits:nolock) on or above the flagged line.
+// Diagnostics print in a deterministic order (by file, line, column,
+// analyzer) regardless of package load order; -json emits them as a
+// JSON array instead. Exit status is 1 when any diagnostic is
+// reported, 2 on usage or load errors. Type errors in loaded packages
+// are warnings: the analyzers run on what type-checks, and the build
+// gate — not the linter — owns compilation failures. Suppress a
+// finding with //mits:allow <analyzer> (or //mits:nolock) on or above
+// the flagged line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"mits/internal/lint"
@@ -31,12 +41,13 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := suite.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -68,7 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
+	var diags []lint.Diagnostic
 	analyzed := 0
 	for _, pkg := range pkgs {
 		if !pkg.Root || pkg.Standard || isTestdata(pkg.ImportPath) {
@@ -76,27 +87,81 @@ func main() {
 		}
 		analyzed++
 		for _, te := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "mitslint: %s: type error: %v\n", pkg.ImportPath, te)
-			failed = true
+			fmt.Fprintf(os.Stderr, "mitslint: warning: %s: type error: %v\n", pkg.ImportPath, te)
 		}
 		for _, a := range analyzers {
-			diags, err := lint.Run(a, pkg)
+			ds, err := lint.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				fmt.Println(rel(d))
-				failed = true
-			}
+			diags = append(diags, ds...)
 		}
 	}
 	if analyzed == 0 {
 		fmt.Fprintf(os.Stderr, "mitslint: patterns matched no packages: %s\n", strings.Join(patterns, " "))
 		os.Exit(2)
 	}
-	if failed {
+
+	// One global order across all packages and analyzers, so output is
+	// stable under load-order and scheduling differences.
+	for i := range diags {
+		diags[i].Pos.Filename = rel(diags[i].Pos.Filename)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+		os.Exit(2)
 	}
 }
 
@@ -112,11 +177,11 @@ func isTestdata(importPath string) bool {
 }
 
 // rel shortens absolute diagnostic paths to the working directory.
-func rel(d lint.Diagnostic) string {
+func rel(filename string) string {
 	if wd, err := os.Getwd(); err == nil {
-		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			d.Pos.Filename = r
+		if r, err := filepath.Rel(wd, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
 	}
-	return d.String()
+	return filename
 }

@@ -33,7 +33,10 @@ func buildNet() (*atm.Network, *atm.Host, *atm.Host, *atm.Host, *atm.Host) {
 	return n, server, student, crossSrc, crossDst
 }
 
-func congest(n *atm.Network, from, to *atm.Host) {
+// congest returns the flood connection so the caller can close it once
+// the clock has drained — closing earlier would tear down the flood
+// routes and uncongest the trunk.
+func congest(n *atm.Network, from, to *atm.Host) *atm.Connection {
 	flood, err := n.Open(from, to, atm.UBRContract(30e6), atm.OpenOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -41,6 +44,7 @@ func congest(n *atm.Network, from, to *atm.Host) {
 	for i := 0; i < 8000; i++ {
 		flood.Send(make([]byte, 4000))
 	}
+	return flood
 }
 
 func main() {
@@ -62,8 +66,9 @@ func main() {
 		{"UBR best-effort", atm.UBRContract(8e6)},
 	} {
 		n, server, student, x1, x2 := buildNet()
-		congest(n, x1, x2)
+		flood := congest(n, x1, x2)
 		stats, err := navigator.StreamVideo(n, server, student, run.td, clip, 500*time.Millisecond)
+		flood.Close()
 		if err != nil {
 			log.Fatal(err)
 		}

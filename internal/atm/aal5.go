@@ -31,7 +31,7 @@ func Segment(vc VC, connID int, seqStart int64, pdu []byte) ([]Cell, error) {
 	// The CRC in real AAL5 covers payload+pad+first 4 trailer bytes; the
 	// simulator checksums payload+pad, which detects the same corruption
 	// classes the experiments inject.
-	tr.marshal(buf[len(buf)-trailerSize:])
+	tr.marshal((*[trailerSize]byte)(buf[len(buf)-trailerSize:]))
 
 	cells := make([]Cell, ncells)
 	for i := range cells {
@@ -79,7 +79,7 @@ func (r *Reassembler) Push(c Cell) ([]byte, bool) {
 		r.errors++
 		return nil, false
 	}
-	tr := unmarshalTrailer(r.buf[len(r.buf)-trailerSize:])
+	tr := unmarshalTrailer((*[trailerSize]byte)(r.buf[len(r.buf)-trailerSize:]))
 	if int(tr.Length) > len(r.buf)-trailerSize {
 		r.errors++
 		return nil, false

@@ -101,14 +101,17 @@ type aal5Trailer struct {
 	CRC    uint32
 }
 
-func (t aal5Trailer) marshal(dst []byte) {
+// marshal and unmarshalTrailer take array pointers, not slices: the
+// conversion at the call site is the bounds check, so a trailer can
+// never be read from or written into a short buffer.
+func (t aal5Trailer) marshal(dst *[trailerSize]byte) {
 	dst[0] = t.UU
 	dst[1] = t.CPI
 	binary.BigEndian.PutUint16(dst[2:], t.Length)
 	binary.BigEndian.PutUint32(dst[4:], t.CRC)
 }
 
-func unmarshalTrailer(src []byte) aal5Trailer {
+func unmarshalTrailer(src *[trailerSize]byte) aal5Trailer {
 	return aal5Trailer{
 		UU:     src[0],
 		CPI:    src[1],

@@ -1,0 +1,59 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAAL5Reassemble drives the reassembler two ways with the same
+// input: as a hostile cell stream (arbitrary payloads, end-of-PDU on
+// the last cell), which must never panic and only ever increment the
+// error counter; and as a PDU through the real Segment path, which must
+// reassemble to the original bytes.
+func FuzzAAL5Reassemble(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello, broadband telelearning"))
+	f.Add(bytes.Repeat([]byte{0xA5}, 3*CellPayloadSize))
+	big := make([]byte, 200)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var hostile Reassembler
+		for off := 0; off < len(data); off += CellPayloadSize {
+			var c Cell
+			n := copy(c.Payload[:], data[off:])
+			if off+n >= len(data) {
+				c.PTI = PTIUserDataEnd
+			}
+			hostile.Push(c)
+		}
+
+		pdu := data
+		if len(pdu) > MaxPDUSize {
+			pdu = pdu[:MaxPDUSize]
+		}
+		cells, err := Segment(VC{VPI: 1, VCI: 42}, 1, 0, pdu)
+		if err != nil {
+			t.Fatalf("Segment: %v", err)
+		}
+		var r Reassembler
+		var out []byte
+		done := false
+		for _, c := range cells {
+			if p, ok := r.Push(c); ok {
+				out, done = p, true
+			}
+		}
+		if !done {
+			t.Fatal("segmented PDU never reassembled")
+		}
+		if !bytes.Equal(out, pdu) {
+			t.Fatalf("round trip changed PDU: %d bytes in, %d out", len(pdu), len(out))
+		}
+		if r.Errors() != 0 {
+			t.Fatalf("clean stream counted %d reassembly errors", r.Errors())
+		}
+	})
+}

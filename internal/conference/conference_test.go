@@ -2,6 +2,8 @@ package conference
 
 import (
 	"testing"
+
+	"mits/internal/lint/leaktest"
 	"time"
 
 	"mits/internal/atm"
@@ -78,6 +80,7 @@ func TestVideoCallAddsStreams(t *testing.T) {
 }
 
 func TestReservedCallSurvivesCongestion(t *testing.T) {
+	leaktest.Check(t)
 	n, a, b := confNet(t, true)
 	s, err := Dial(n, a, b, Options{Duration: 10 * time.Second, VideoEnabled: true})
 	if err != nil {
@@ -104,6 +107,7 @@ func TestBestEffortCallCollapsesUnderCongestion(t *testing.T) {
 }
 
 func TestHangupReleasesReservations(t *testing.T) {
+	leaktest.Check(t)
 	n, a, b := confNet(t, false)
 	// The 10 Mb/s trunk fits a handful of reserved video calls; dialing
 	// forever without hangup must eventually hit admission control.

@@ -244,6 +244,10 @@ func E23QoSAblation() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Close only after StreamVideo drains the clock: Close tears
+		// down the flood's switch routes, which would uncongest the
+		// trunk mid-experiment.
+		defer flood.Close()
 		for i := 0; i < 7000; i++ {
 			if err := flood.Send(make([]byte, 4000)); err != nil {
 				return nil, err
@@ -300,6 +304,9 @@ func E24Conferencing() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Closed after the clock run below; closing earlier would tear
+		// down the flood routes and uncongest the trunk.
+		defer flood.Close()
 		for i := 0; i < 9000; i++ {
 			flood.Send(make([]byte, 4000))
 		}

@@ -59,6 +59,7 @@ func E7ClientServer() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		var sessions []*transport.ATMSession
 		for i := 0; i < clients; i++ {
 			host := n.AddHost(fmt.Sprintf("user%d", i))
 			n.Connect(host, sw, 155e6, 500*time.Microsecond)
@@ -66,6 +67,7 @@ func E7ClientServer() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			sessions = append(sessions, sess)
 			// Each client issues `rounds` back-to-back requests.
 			var issue func(round int)
 			issue = func(round int) {
@@ -85,6 +87,9 @@ func E7ClientServer() (*Report, error) {
 			issue(0)
 		}
 		n.Clock().Run()
+		for _, sess := range sessions {
+			sess.Close()
+		}
 		if served != clients*rounds {
 			r.Pass = false
 		}
@@ -177,17 +182,20 @@ func E17Broadband() (*Report, error) {
 		n.Connect(s2, x2, 155e6, 200*time.Microsecond)
 		return n, srv, cli, x1, x2
 	}
-	congest := func(n *atm.Network, from, to *atm.Host) error {
+	// congest returns the flood connection so the caller can close it
+	// once the clock has drained — closing earlier tears down the flood
+	// routes and uncongests the trunk.
+	congest := func(n *atm.Network, from, to *atm.Host) (*atm.Connection, error) {
 		flood, err := n.Open(from, to, atm.UBRContract(30e6), atm.OpenOptions{})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for i := 0; i < 8000; i++ {
 			if err := flood.Send(make([]byte, 4000)); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
+		return flood, nil
 	}
 
 	r := &Report{
@@ -205,12 +213,18 @@ func E17Broadband() (*Report, error) {
 	} {
 		for _, congested := range []bool{false, true} {
 			n, srv, cli, x1, x2 := build()
+			var flood *atm.Connection
 			if congested {
-				if err := congest(n, x1, x2); err != nil {
+				var err error
+				flood, err = congest(n, x1, x2)
+				if err != nil {
 					return nil, err
 				}
 			}
 			stats, err := navigator.StreamVideo(n, srv, cli, td.c, video, 500*time.Millisecond)
+			if flood != nil {
+				flood.Close()
+			}
 			if err != nil {
 				return nil, err
 			}

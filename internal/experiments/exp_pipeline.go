@@ -115,6 +115,7 @@ func E5Layers() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
 	req, err := transport.EncodeGetDoc("atm-course")
 	if err != nil {
 		return nil, err

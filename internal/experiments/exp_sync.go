@@ -44,7 +44,10 @@ func E25InterMediaSync() (*Report, error) {
 		lost      int
 	}
 
-	build := func() (*atm.Network, *atm.Host, *atm.Host) {
+	// build returns the flood connection (nil if admission refused it)
+	// so run can close it after the clock drains — closing earlier
+	// would tear down the flood routes and uncongest the trunk.
+	build := func() (*atm.Network, *atm.Host, *atm.Host, *atm.Connection) {
 		n := atm.New()
 		n.BufferCells = 96
 		srv := n.AddHost("server")
@@ -64,14 +67,17 @@ func E25InterMediaSync() (*Report, error) {
 				flood.Send(make([]byte, 4000))
 			}
 		}
-		return n, srv, cli
+		return n, srv, cli, flood
 	}
 
 	// run delivers audio and video on the given contracts (nil video
 	// contract = multiplexed onto the audio connection) and measures
 	// the media-position skew at every video-frame arrival.
 	run := func(audioTD, videoTD *atm.TrafficDescriptor) (*result, error) {
-		n, srv, cli := build()
+		n, srv, cli, flood := build()
+		if flood != nil {
+			defer flood.Close()
+		}
 		res := &result{}
 		var audioPos, videoPos time.Duration // media time delivered so far
 		observe := func(now sim.Time) {
@@ -103,6 +109,7 @@ func E25InterMediaSync() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer audioConn.Close()
 
 		var videoConn *atm.Connection
 		if videoTD != nil {
@@ -116,6 +123,7 @@ func E25InterMediaSync() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer videoConn.Close()
 		}
 
 		// Pace the source: audio every 20 ms; each video frame at PTS.
@@ -214,6 +222,7 @@ func E26ABRFeedback() (*Report, error) {
 		if err != nil {
 			return nil, 0, err
 		}
+		defer cbr.Close()
 		for i := 0; i < 2000; i++ {
 			n.Clock().At(sim.Time(i)*sim.Time(2*time.Millisecond), func(sim.Time) {
 				cbr.Send(make([]byte, 1400))

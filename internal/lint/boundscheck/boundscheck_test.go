@@ -1,0 +1,11 @@
+package boundscheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestBoundscheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,109 @@
+// Package a exercises boundscheck: guarded and unguarded []byte
+// indexing.
+package a
+
+// Unguarded reads a parameter with no length check.
+func Unguarded(data []byte) byte {
+	return data[0] // want `index into data is not dominated by a len\(data\) guard`
+}
+
+// UnguardedSlice re-slices a parameter with no length check.
+func UnguardedSlice(data []byte, off int) []byte {
+	return data[off:] // want `index into data is not dominated by a len\(data\) guard`
+}
+
+// UnguardedLater checks the wrong value.
+func UnguardedLater(a, b []byte) byte {
+	if len(a) < 4 {
+		return 0
+	}
+	return b[3] // want `index into b is not dominated by a len\(b\) guard`
+}
+
+// Guarded has the early-return guard idiom.
+func Guarded(data []byte) byte {
+	if len(data) < 4 {
+		return 0
+	}
+	return data[3]
+}
+
+// GuardedIn checks inside the condition.
+func GuardedIn(data []byte) byte {
+	if len(data) > 2 {
+		return data[2]
+	}
+	return 0
+}
+
+// GuardedLoop indexes under a len-bounded loop condition.
+func GuardedLoop(data []byte) (s byte) {
+	for i := 0; i < len(data); i++ {
+		s += data[i]
+	}
+	return
+}
+
+// GuardedRange indexes under a range.
+func GuardedRange(data []byte) (s byte) {
+	for i := range data {
+		s += data[i]
+	}
+	return
+}
+
+// GuardedAlias checks through n := len(data).
+func GuardedAlias(data []byte) byte {
+	n := len(data)
+	if n < 8 {
+		return 0
+	}
+	return data[7]
+}
+
+// GuardedSwitch checks in a switch condition.
+func GuardedSwitch(data []byte) byte {
+	switch {
+	case len(data) > 1:
+		return data[1]
+	}
+	return 0
+}
+
+// Local indexing of a locally-sized buffer is trusted.
+func Local() byte {
+	buf := make([]byte, 16)
+	return buf[8]
+}
+
+// TailSlice is self-guarded: the index mentions len(data).
+func TailSlice(data []byte) []byte {
+	return data[len(data)-1:]
+}
+
+// FullSlice cannot panic.
+func FullSlice(data []byte) []byte {
+	return data[0:]
+}
+
+type frame struct {
+	buf []byte
+}
+
+// FieldUnguarded indexes a field with no check.
+func (f *frame) FieldUnguarded() byte {
+	return f.buf[0] // want `index into f.buf is not dominated by a len\(f.buf\) guard`
+}
+
+// FieldGuarded carries the guard.
+func (f *frame) FieldGuarded() byte {
+	if len(f.buf) == 0 {
+		return 0
+	}
+	return f.buf[0]
+}
+
+// Allowed documents a caller-side invariant.
+func Allowed(data []byte) byte {
+	return data[0] //mits:allow boundscheck caller slices to exactly 4 bytes
+}

@@ -1,0 +1,11 @@
+package closecheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestClosecheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,80 @@
+// Package a exercises closecheck: closeable values closed, escaping,
+// and leaked.
+package a
+
+import "os"
+
+// sink models handing a resource to another owner.
+func sink(f *os.File) {}
+
+type holder struct{ f *os.File }
+
+// Leaked acquires a file and forgets it.
+func Leaked(path string) int {
+	f, err := os.Open(path) // want `f \(\*os.File\) is never closed and never escapes`
+	if err != nil {
+		return 0
+	}
+	n, _ := f.Stat()
+	_ = n
+	return 1
+}
+
+// LeakedCreate leaks on the write side too.
+func LeakedCreate(path string) {
+	f, _ := os.Create(path) // want `f \(\*os.File\) is never closed and never escapes`
+	f.Name()
+}
+
+// Deferred closes via defer.
+func Deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// ClosedOnPath closes explicitly on the error path.
+func ClosedOnPath(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Returned hands ownership to the caller.
+func Returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	return f, err
+}
+
+// PassedOn hands ownership to another function.
+func PassedOn(path string) {
+	f, _ := os.Open(path)
+	sink(f)
+}
+
+// Stored parks the resource in a struct; its owner closes it later.
+func Stored(path string) *holder {
+	f, _ := os.Open(path)
+	return &holder{f: f}
+}
+
+// StoredField assigns into an existing struct.
+func StoredField(h *holder, path string) {
+	f, _ := os.Open(path)
+	h.f = f
+}
+
+// Allowed documents a deliberate process-lifetime handle.
+func Allowed(path string) {
+	f, _ := os.Open(path) //mits:allow closecheck process-lifetime lock file
+	f.Name()
+}

@@ -1,0 +1,516 @@
+// Dataflow layer: the shared package-local analyses the deeper
+// analyzers (goleak, closecheck, boundscheck) build on. Three pieces:
+//
+//   - CallGraph — a static, package-local call graph over function
+//     declarations, with transitive body reachability. `go f()` and
+//     `go func(){...}()` launches are first-class: a GoLaunch carries
+//     the launched callee, every package-local body the goroutine can
+//     reach, and the values that flow into it (receiver, arguments,
+//     captured free variables) so an analyzer can ask "who else in
+//     this package touches what this goroutine runs on?".
+//
+//   - Parents — an AST parent map, so expression-level analyses can
+//     classify how a value is used (returned, stored, passed on).
+//
+//   - Guards — a reaching length-guard analysis for slice indexing: a
+//     lexical walk that tracks, statement by statement, which values
+//     have had `len(x)` examined by a dominating or preceding condition
+//     (if / for condition, switch case, range loop), with alias
+//     tracking for `n := len(x)`.
+//
+// Everything here is deliberately package-local and flow-insensitive
+// beyond lexical dominance — the same trade the per-function analyzers
+// make: cheap, deterministic, and wrong only in the direction of
+// asking for an //mits:allow with a justification.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ---- parent map ----
+
+// Parents maps every node under root to its enclosing node. Use it to
+// classify the syntactic context of an identifier use.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ---- referent objects ----
+
+// Referent resolves an expression to the variable-like object it
+// denotes: an identifier to its *types.Var / *types.PkgName / etc., a
+// field selector to the field's *types.Var (so r.buf in any method of
+// the same type resolves to one object). Returns nil for everything
+// else (calls, literals, index expressions).
+func (p *Pass) Referent(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		if s := p.TypesInfo.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		// Package-qualified name (pkg.Var).
+		if obj := p.TypesInfo.Uses[e.Sel]; obj != nil {
+			if _, ok := obj.(*types.Var); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// HasMethod reports whether t's method set (taking the address if
+// needed) contains a niladic method with one of the given names.
+func HasMethod(t types.Type, names ...string) bool {
+	for _, name := range names {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if fn, ok := obj.(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- call graph ----
+
+// FuncInfo is one function or method declaration in the package.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+}
+
+// GoLaunch is one `go` statement, resolved.
+type GoLaunch struct {
+	Stmt   *ast.GoStmt
+	Callee *types.Func // statically-resolved launched function, nil for func literals and dynamic calls
+	// Bodies holds every package-local body the goroutine can execute:
+	// the launched func literal or declaration body, plus the bodies of
+	// all package-local functions transitively reachable from it.
+	Bodies []ast.Node
+	// Inflows are the values visible to the goroutine at launch: the
+	// receiver and arguments of the launched call, plus (for literals)
+	// the free variables the closure captures. These are what escape
+	// into the goroutine — the handles an owner must use to stop it.
+	Inflows []types.Object
+}
+
+// CallGraph is a static, package-local call graph.
+type CallGraph struct {
+	pass  *Pass
+	funcs map[*types.Func]*FuncInfo
+}
+
+// NewCallGraph builds the call graph for the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{pass: pass, funcs: make(map[*types.Func]*FuncInfo)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.funcs[obj] = &FuncInfo{Obj: obj, Decl: fd}
+			}
+		}
+	}
+	return g
+}
+
+// Funcs returns the package's function declarations.
+func (g *CallGraph) Funcs() map[*types.Func]*FuncInfo { return g.funcs }
+
+// Callee statically resolves a call expression to a function object
+// (package-local or not), nil when dynamic.
+func (g *CallGraph) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := g.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// ReachableBodies returns root plus the body of every package-local
+// function transitively reachable from it through static calls. Func
+// literals nested in a body are walked as part of it (they may run on
+// the same goroutine or a child of it — either way their effects are
+// reachable).
+func (g *CallGraph) ReachableBodies(root ast.Node) []ast.Node {
+	seen := make(map[ast.Node]bool)
+	var out []ast.Node
+	var visit func(body ast.Node)
+	visit = func(body ast.Node) {
+		if body == nil || seen[body] {
+			return
+		}
+		seen[body] = true
+		out = append(out, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := g.Callee(call); fn != nil {
+				if info := g.funcs[fn]; info != nil {
+					visit(info.Decl.Body)
+				}
+			}
+			return true
+		})
+	}
+	visit(root)
+	return out
+}
+
+// Launches finds every `go` statement in the package and resolves its
+// reachable bodies and inflowing values.
+func (g *CallGraph) Launches() []GoLaunch {
+	var out []GoLaunch
+	for _, f := range g.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, g.resolveLaunch(gs))
+			return true
+		})
+	}
+	return out
+}
+
+func (g *CallGraph) resolveLaunch(gs *ast.GoStmt) GoLaunch {
+	l := GoLaunch{Stmt: gs}
+	call := gs.Call
+	// Arguments flow into the goroutine whatever the callee is.
+	for _, arg := range call.Args {
+		if obj := g.pass.Referent(arg); obj != nil {
+			l.Inflows = append(l.Inflows, obj)
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		l.Bodies = g.ReachableBodies(fun.Body)
+		// Captured free variables: identifiers used in the literal whose
+		// declaration is outside it.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := g.pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || v.Pos() == token.NoPos {
+				return true
+			}
+			if v.Pos() < fun.Pos() || v.Pos() > fun.End() {
+				l.Inflows = append(l.Inflows, v)
+			}
+			return true
+		})
+	default:
+		if fn := g.Callee(call); fn != nil {
+			l.Callee = fn
+			if info := g.funcs[fn]; info != nil {
+				l.Bodies = g.ReachableBodies(info.Decl.Body)
+			}
+		}
+		// Method launch: the receiver flows in too.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := g.pass.Referent(sel.X); obj != nil {
+				l.Inflows = append(l.Inflows, obj)
+			}
+		}
+		_ = fun
+	}
+	return l
+}
+
+// ---- reaching length guards ----
+
+// Guards answers, for a function body, whether a given use of a value
+// is dominated by a length guard on that value: an if / for condition
+// or switch case mentioning len(x) (directly or through an alias
+// n := len(x)), a range loop over x, or an earlier if condition in the
+// same flow — both the terminating `if len(x) < 8 { return }` and the
+// clamping `if end > len(x) { end = len(x) }` count. The analysis is
+// lexical: facts flow into nested blocks and forward past if
+// statements, and are dropped when a loop or switch body ends.
+type Guards struct {
+	pass *Pass
+	// guardedAt records, for every expression position asked about,
+	// the set of objects with a reaching guard.
+	facts map[ast.Node]map[types.Object]bool
+	// aliases maps n → x for n := len(x) assignments (function-wide;
+	// re-binding an alias is rare enough to ignore).
+	aliases map[types.Object]types.Object
+}
+
+// NewGuards analyzes one function body.
+func NewGuards(pass *Pass, body *ast.BlockStmt) *Guards {
+	g := &Guards{
+		pass:    pass,
+		facts:   make(map[ast.Node]map[types.Object]bool),
+		aliases: make(map[types.Object]types.Object),
+	}
+	g.collectAliases(body)
+	g.walkBlock(body.List, make(map[types.Object]bool))
+	return g
+}
+
+// Guarded reports whether a reaching length guard covers obj at node n
+// (n must be a node the walk recorded — any expression inside a
+// statement of the analyzed body).
+func (g *Guards) Guarded(n ast.Node, obj types.Object) bool {
+	return g.facts[n][obj]
+}
+
+// collectAliases records n := len(x) bindings.
+func (g *Guards) collectAliases(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lhs := g.pass.TypesInfo.Defs[id]
+			if lhs == nil {
+				lhs = g.pass.TypesInfo.Uses[id]
+			}
+			if lhs == nil {
+				continue
+			}
+			if base := g.lenArg(as.Rhs[i]); base != nil {
+				g.aliases[lhs] = base
+			}
+		}
+		return true
+	})
+}
+
+// lenArg returns the referent of x when e is exactly len(x).
+func (g *Guards) lenArg(e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return nil
+	}
+	if b, ok := g.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+		return nil
+	}
+	return g.pass.Referent(call.Args[0])
+}
+
+// lenMentions collects every object whose length the expression
+// examines: len(x) calls and identifiers aliased to one.
+func (g *Guards) lenMentions(e ast.Expr, into map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if base := g.lenArg(expr); base != nil {
+			into[base] = true
+		}
+		if id, ok := expr.(*ast.Ident); ok {
+			if obj := g.pass.TypesInfo.Uses[id]; obj != nil {
+				if base, ok := g.aliases[obj]; ok {
+					into[base] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func cloneFacts(in map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// record stamps the current facts onto every expression node of stmt
+// (excluding nested statements, which the walk visits with their own
+// facts).
+func (g *Guards) recordExprs(n ast.Node, facts map[types.Object]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		if _, ok := c.(ast.Expr); ok {
+			g.facts[c] = facts
+		}
+		return true
+	})
+}
+
+// walkBlock walks statements in order, threading the fact set.
+func (g *Guards) walkBlock(stmts []ast.Stmt, facts map[types.Object]bool) {
+	for _, s := range stmts {
+		facts = g.walkStmt(s, facts)
+	}
+}
+
+// walkStmt records facts for s's expressions, descends into nested
+// blocks with extended facts, and returns the facts holding after s.
+func (g *Guards) walkStmt(s ast.Stmt, facts map[types.Object]bool) map[types.Object]bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		inner := facts
+		if s.Init != nil {
+			inner = g.walkStmt(s.Init, inner)
+		}
+		g.recordExprs(s.Cond, inner)
+		condFacts := cloneFacts(inner)
+		g.lenMentions(s.Cond, condFacts)
+		g.walkBlock(s.Body.List, condFacts)
+		switch el := s.Else.(type) {
+		case *ast.BlockStmt:
+			g.walkBlock(el.List, condFacts)
+		case *ast.IfStmt:
+			g.walkStmt(el, condFacts)
+		}
+		// The condition's length examination keeps counting afterwards —
+		// both the terminating guard `if len(b) < 8 { return }` and the
+		// clamping guard `if end >= len(b) { end = len(b) }` establish
+		// that the code below runs with len(b) examined.
+		return condFacts
+	case *ast.ForStmt:
+		inner := facts
+		if s.Init != nil {
+			inner = g.walkStmt(s.Init, inner)
+		}
+		g.recordExprs(s.Cond, inner)
+		condFacts := cloneFacts(inner)
+		g.lenMentions(s.Cond, condFacts)
+		if s.Post != nil {
+			g.walkStmt(s.Post, condFacts)
+		}
+		g.walkBlock(s.Body.List, condFacts)
+		return facts
+	case *ast.RangeStmt:
+		g.recordExprs(s.X, facts)
+		bodyFacts := cloneFacts(facts)
+		// for i := range x dominates x[i]; treat a range over x as a
+		// length examination of x.
+		if obj := g.pass.Referent(s.X); obj != nil {
+			bodyFacts[obj] = true
+		}
+		g.lenMentions(s.X, bodyFacts)
+		g.walkBlock(s.Body.List, bodyFacts)
+		return facts
+	case *ast.SwitchStmt:
+		inner := facts
+		if s.Init != nil {
+			inner = g.walkStmt(s.Init, inner)
+		}
+		g.recordExprs(s.Tag, inner)
+		tagFacts := cloneFacts(inner)
+		g.lenMentions(s.Tag, tagFacts)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseFacts := cloneFacts(tagFacts)
+			for _, e := range cc.List {
+				g.recordExprs(e, tagFacts)
+				g.lenMentions(e, caseFacts)
+			}
+			g.walkBlock(cc.Body, caseFacts)
+		}
+		return inner
+	case *ast.TypeSwitchStmt:
+		inner := facts
+		if s.Init != nil {
+			inner = g.walkStmt(s.Init, inner)
+		}
+		g.recordExprs(s.Assign, inner)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			g.walkBlock(cc.Body, cloneFacts(inner))
+		}
+		return inner
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			commFacts := cloneFacts(facts)
+			if cc.Comm != nil {
+				commFacts = g.walkStmt(cc.Comm, commFacts)
+			}
+			g.walkBlock(cc.Body, commFacts)
+		}
+		return facts
+	case *ast.BlockStmt:
+		g.walkBlock(s.List, cloneFacts(facts))
+		return facts
+	case *ast.LabeledStmt:
+		return g.walkStmt(s.Stmt, facts)
+	case *ast.DeferStmt:
+		// A deferred body runs last; everything established anywhere in
+		// the function may or may not hold, so give it only current facts.
+		g.recordExprs(s.Call, facts)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			g.walkBlock(lit.Body.List, cloneFacts(facts))
+		}
+		return facts
+	case *ast.GoStmt:
+		g.recordExprs(s.Call, facts)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			g.walkBlock(lit.Body.List, cloneFacts(facts))
+		}
+		return facts
+	default:
+		// Leaf statements (assign, expr, return, incdec, send, decl...):
+		// record facts for their expressions, walking nested func literal
+		// bodies with the current facts.
+		g.recordExprs(s, facts)
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				g.walkBlock(lit.Body.List, cloneFacts(facts))
+				return false
+			}
+			return true
+		})
+		return facts
+	}
+}

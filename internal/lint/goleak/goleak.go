@@ -1,0 +1,264 @@
+// Package goleak flags goroutine launches with no reachable stop path.
+//
+// A MITS site is a long-lived server: the ATM link pumps, the TCP
+// accept/serve loops, the conference fan-out and the stats endpoint
+// all run on background goroutines, and a goroutine that nothing can
+// stop is a leak that accumulates until the site dies under load. For
+// every `go` statement the analyzer resolves the goroutine's reachable
+// bodies (the launched function or literal plus everything it calls
+// package-locally, via the lint call graph) and accepts the launch
+// when at least one stop path is visible:
+//
+//   - quit channel — the goroutine receives from a channel, ranges
+//     over one, or blocks in a select (the owner can close the channel
+//     to release it); a context.Done() call counts the same way;
+//   - sync.WaitGroup — the goroutine calls Done (typically deferred),
+//     so an owner's Wait observes its exit;
+//   - owner Close — the goroutine loops on calls to a value whose type
+//     has a Close/Shutdown/Stop/Hangup method (a listener, connection,
+//     server, ticker), and some other function in the package calls
+//     that method on the same type: closing the value fails the
+//     goroutine's blocking call and ends its loop.
+//
+// A goroutine whose reachable bodies contain no loop is assumed to
+// terminate on its own and is not flagged (a one-shot send can still
+// block forever — that is what the runtime leaktest helper is for).
+// Launches of functions the analyzer cannot see into (other-package
+// calls, dynamic calls) are only checked against the owner-Close rule,
+// through the values flowing into the launch. Deliberate
+// process-lifetime goroutines take //mits:allow goleak with a reason.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mits/internal/lint"
+)
+
+// Analyzer is the goleak pass.
+var Analyzer = &lint.Analyzer{
+	Name: "goleak",
+	Doc:  "report goroutine launches with no reachable stop path (quit channel, WaitGroup, or owner Close)",
+	Run:  run,
+}
+
+// stopMethods are the conventional teardown method names whose presence
+// (called elsewhere in the package on a type the goroutine blocks on)
+// counts as a stop path.
+var stopMethods = []string{"Close", "Shutdown", "Stop", "Hangup"}
+
+func run(pass *lint.Pass) error {
+	graph := lint.NewCallGraph(pass)
+	launches := graph.Launches()
+	if len(launches) == 0 {
+		return nil
+	}
+	closedTypes := packageClosedTypes(pass)
+	for _, l := range launches {
+		checkLaunch(pass, l, closedTypes)
+	}
+	return nil
+}
+
+func checkLaunch(pass *lint.Pass, l lint.GoLaunch, closedTypes map[string]bool) {
+	if hasLoop(l.Bodies) == false && len(l.Bodies) > 0 {
+		return // one-shot goroutine: runs off the end
+	}
+	if receivesFromChannel(pass, l.Bodies) {
+		return
+	}
+	if callsWaitGroupDone(pass, l.Bodies) {
+		return
+	}
+	if blocksOnClosedValue(pass, l, closedTypes) {
+		return
+	}
+	what := "goroutine"
+	if l.Callee != nil {
+		what = "goroutine " + l.Callee.Name()
+	}
+	pass.Reportf(l.Stmt.Pos(), "%s has no reachable stop path (no quit-channel receive, WaitGroup.Done, or owner Close of what it blocks on) — wire one or annotate //mits:allow goleak", what)
+}
+
+// hasLoop reports whether any reachable body contains a for/range loop.
+func hasLoop(bodies []ast.Node) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// receivesFromChannel reports a quit-channel-shaped stop path: a
+// channel receive, a range over a channel, a select statement, or a
+// context Done() call anywhere in the reachable bodies.
+func receivesFromChannel(pass *lint.Pass, bodies []ast.Node) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					found = true
+				}
+			case *ast.SelectStmt:
+				found = true
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						found = true
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+					if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isContext(t) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// callsWaitGroupDone reports whether the goroutine signals a
+// sync.WaitGroup on exit.
+func callsWaitGroupDone(pass *lint.Pass, bodies []ast.Node) bool {
+	for _, b := range bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isWaitGroup(t) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// packageClosedTypes collects the type strings on which any function of
+// the package calls a stop method — the "some owner tears this down"
+// side of the owner-Close rule.
+func packageClosedTypes(pass *lint.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isStopName(sel.Sel.Name) {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(sel.X); t != nil {
+				out[canonical(t)] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isStopName(name string) bool {
+	for _, m := range stopMethods {
+		if name == m {
+			return true
+		}
+	}
+	return false
+}
+
+// canonical normalizes a type for matching: deref pointers, print with
+// full package paths.
+func canonical(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return types.TypeString(t, nil)
+}
+
+// blocksOnClosedValue reports the owner-Close stop path: the goroutine
+// calls a method on (or is launched on, or receives as inflow) a value
+// whose type has a stop method, and the package calls that stop method
+// on the same type somewhere.
+func blocksOnClosedValue(pass *lint.Pass, l lint.GoLaunch, closedTypes map[string]bool) bool {
+	check := func(t types.Type) bool {
+		if t == nil || !lint.HasMethod(t, stopMethods...) {
+			return false
+		}
+		return closedTypes[canonical(t)]
+	}
+	// Values flowing into the launch (receiver, args, captures).
+	for _, obj := range l.Inflows {
+		if check(obj.Type()) {
+			return true
+		}
+	}
+	// Method-call receivers inside the reachable bodies.
+	for _, b := range l.Bodies {
+		found := false
+		ast.Inspect(b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if check(pass.TypesInfo.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package goleak
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestGoleak(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

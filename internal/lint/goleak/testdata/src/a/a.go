@@ -1,0 +1,120 @@
+// Package a exercises goleak: goroutine launches with and without
+// reachable stop paths.
+package a
+
+import "sync"
+
+type conn struct{}
+
+func (conn) Read() (int, error) { return 0, nil }
+func (conn) Close() error       { return nil }
+
+type ticker struct{}
+
+func (ticker) Tick() {}
+
+// work stands in for per-iteration business logic.
+func work() {}
+
+// Leaky spins forever with no quit channel, WaitGroup or closable —
+// the classic leak.
+func Leaky() {
+	go func() { // want `goroutine has no reachable stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+// LeakyNamed launches a named looping function with no stop path.
+func LeakyNamed() {
+	go pump() // want `goroutine pump has no reachable stop path`
+}
+
+func pump() {
+	for {
+		work()
+	}
+}
+
+// LeakyUnclosable loops on a value whose type has no Close anywhere.
+func LeakyUnclosable(t ticker) {
+	go func() { // want `goroutine has no reachable stop path`
+		for {
+			t.Tick()
+		}
+	}()
+}
+
+// OneShot terminates on its own: no loop, no flag.
+func OneShot() {
+	go func() {
+		work()
+	}()
+}
+
+// QuitChannel is stoppable: the owner closes quit.
+func QuitChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// RangeChannel drains a channel the owner closes.
+func RangeChannel(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// WaitGroup signals its owner on exit.
+func WaitGroup(wg *sync.WaitGroup, n int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// Server loops on a closable value its Close tears down — the
+// accept-loop idiom.
+type Server struct {
+	c conn
+}
+
+// Serve launches the read loop; the loop ends when Close fails the
+// blocking Read.
+func (s *Server) Serve() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		if _, err := s.c.Read(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the loop by closing what it blocks on.
+func (s *Server) Close() error { return s.c.Close() }
+
+// Allowed documents a deliberate process-lifetime goroutine.
+func Allowed() {
+	go func() { //mits:allow goleak process-lifetime metrics pump
+		for {
+			work()
+		}
+	}()
+}

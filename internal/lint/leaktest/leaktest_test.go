@@ -1,0 +1,50 @@
+package leaktest
+
+import (
+	"testing"
+)
+
+// recorder captures what Check reports without failing the real test.
+type recorder struct {
+	testing.TB
+	failed   bool
+	cleanups []func()
+}
+
+func (r *recorder) Helper()                           {}
+func (r *recorder) Errorf(format string, args ...any) { r.failed = true }
+func (r *recorder) Cleanup(f func())                  { r.cleanups = append(r.cleanups, f) }
+func (r *recorder) runCleanups() {
+	for _, f := range r.cleanups {
+		f()
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		close(done)
+	}()
+	r.runCleanups()
+	if !r.failed {
+		t.Error("deliberately leaked goroutine not reported")
+	}
+	close(stop)
+	<-done
+}
+
+func TestCheckPassesWhenClean(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	r.runCleanups()
+	if r.failed {
+		t.Error("clean test reported as leaking")
+	}
+}

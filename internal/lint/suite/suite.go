@@ -3,7 +3,10 @@ package suite
 
 import (
 	"mits/internal/lint"
+	"mits/internal/lint/boundscheck"
+	"mits/internal/lint/closecheck"
 	"mits/internal/lint/errdrop"
+	"mits/internal/lint/goleak"
 	"mits/internal/lint/lifecycle"
 	"mits/internal/lint/lockcheck"
 	"mits/internal/lint/logcheck"
@@ -18,5 +21,8 @@ func All() []*lint.Analyzer {
 		lifecycle.Analyzer,
 		sleepless.Analyzer,
 		logcheck.Analyzer,
+		goleak.Analyzer,
+		closecheck.Analyzer,
+		boundscheck.Analyzer,
 	}
 }

@@ -1,0 +1,42 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteWellFormed pins the conventions every analyzer in the suite
+// must follow: a distinct name, a non-empty doc string, and an
+// analysistest-style package next to this one — <name>/testdata/src
+// with want-annotated sources and a <name>_test.go that runs them.
+func TestSuiteWellFormed(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("suite is empty")
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" {
+			t.Error("analyzer with empty name")
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc string", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no run function", a.Name)
+		}
+		pkgDir := filepath.Join("..", a.Name)
+		if fi, err := os.Stat(filepath.Join(pkgDir, "testdata", "src")); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %s has no testdata/src package: %v", a.Name, err)
+		}
+		if _, err := os.Stat(filepath.Join(pkgDir, a.Name+"_test.go")); err != nil {
+			t.Errorf("analyzer %s has no %s_test.go: %v", a.Name, a.Name, err)
+		}
+	}
+}

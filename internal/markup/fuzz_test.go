@@ -1,0 +1,31 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMarkupParse throws arbitrary bytes at the SGML-flavoured parser.
+// Parsing must never panic (in particular, deep nesting must hit the
+// depth limit, not the goroutine stack), and any document that parses
+// must print and re-parse to the same printed form.
+func FuzzMarkupParse(f *testing.F) {
+	f.Add([]byte(`<course id="atm-course"><title>ATM Networks</title><unit n="1"/></course>`))
+	f.Add([]byte(`<a b="1"><c>text &amp; more</c><d/></a>`))
+	f.Add([]byte("<!-- comment -->\n<?pi?>\n<root/>"))
+	f.Add([]byte(strings.Repeat("<a>", maxDepth+5)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		el, err := Parse(data)
+		if err != nil {
+			return
+		}
+		printed := el.String()
+		el2, err := Parse([]byte(printed))
+		if err != nil {
+			t.Fatalf("re-parse of printed document failed: %v\n%s", err, printed)
+		}
+		if el2.String() != printed {
+			t.Fatalf("print/parse/print not stable:\n%s\nvs\n%s", printed, el2.String())
+		}
+	})
+}

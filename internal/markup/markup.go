@@ -155,9 +155,15 @@ func Parse(src []byte) (*Element, error) {
 	return el, nil
 }
 
+// maxDepth bounds element nesting: course markup is a few levels deep,
+// and without a limit a hostile document of open tags ("<a><a><a>…")
+// drives parseElement recursion until the stack is exhausted.
+const maxDepth = 64
+
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *parser) skipSpace() {
@@ -191,6 +197,11 @@ func (p *parser) name() (string, error) {
 }
 
 func (p *parser) parseElement() (*Element, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxDepth {
+		return nil, p.errf("element nesting deeper than %d", maxDepth)
+	}
 	p.skipSpace()
 	// Skip comments and processing instructions/doctype lines.
 	for p.pos+1 < len(p.src) && p.src[p.pos] == '<' && (p.src[p.pos+1] == '!' || p.src[p.pos+1] == '?') {

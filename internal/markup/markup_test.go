@@ -105,3 +105,17 @@ func TestAttributeRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseDepthLimited(t *testing.T) {
+	// A run of open tags must fail with the nesting error, not exhaust
+	// the goroutine stack through parser recursion.
+	if _, err := Parse([]byte(strings.Repeat("<a>", 100000))); err == nil ||
+		!strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("unbounded nesting: err = %v", err)
+	}
+	// Documents at the limit still parse.
+	deep := strings.Repeat("<a>", maxDepth) + strings.Repeat("</a>", maxDepth)
+	if _, err := Parse([]byte(deep)); err != nil {
+		t.Fatalf("nesting at maxDepth rejected: %v", err)
+	}
+}

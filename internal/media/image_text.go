@@ -57,6 +57,11 @@ func TextContent(c Coding, data []byte) (string, error) {
 	if _, err := Decode(c, data); err != nil {
 		return "", err
 	}
+	// Decode validated the header, but carry the guard locally so this
+	// function is panic-free on any input.
+	if len(data) < headerSize {
+		return "", fmt.Errorf("media: %q object truncated at %d bytes", c, len(data))
+	}
 	return string(data[headerSize:]), nil
 }
 

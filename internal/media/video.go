@@ -122,6 +122,11 @@ func ParseMPEG(data []byte) ([]Frame, Meta, error) {
 	if m.FrameRate <= 0 {
 		return nil, Meta{}, fmt.Errorf("MPEG stream with frame rate %d", m.FrameRate)
 	}
+	// Decode validated the header, but carry the guard locally so this
+	// function is panic-free on any input.
+	if len(data) < headerSize {
+		return nil, Meta{}, fmt.Errorf("MPEG stream truncated at %d bytes", len(data))
+	}
 	payload := data[headerSize:]
 	var frames []Frame
 	frameDur := time.Second / time.Duration(m.FrameRate)

@@ -1,0 +1,40 @@
+package codec
+
+import (
+	"testing"
+
+	"mits/internal/media"
+	"mits/internal/mheg"
+)
+
+// FuzzMHEGDecode throws arbitrary bytes at both interchange decoders.
+// Decode validates, so anything either decoder accepts must re-encode
+// and decode again without error.
+func FuzzMHEGDecode(f *testing.F) {
+	content := mheg.NewContent(mheg.ID{App: "atm-course", Num: 7}, media.CodingMPEG, "clips/intro")
+	inline := mheg.NewInlineContent(mheg.ID{App: "atm-course", Num: 8}, media.CodingASCII, []byte("lecture notes"))
+	container := mheg.NewContainer(mheg.ID{App: "atm-course", Num: 1}, content, inline)
+	for _, o := range []mheg.Object{content, inline, container} {
+		for _, enc := range []Encoding{ASN1(), SGML()} {
+			if b, err := enc.Encode(o); err == nil {
+				f.Add(b)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, enc := range []Encoding{ASN1(), SGML()} {
+			o, err := enc.Decode(data)
+			if err != nil {
+				continue
+			}
+			b, err := enc.Encode(o)
+			if err != nil {
+				t.Fatalf("%s: decoded object failed to re-encode: %v", enc.Name(), err)
+			}
+			if _, err := enc.Decode(b); err != nil {
+				t.Fatalf("%s: re-encoded object failed to decode: %v", enc.Name(), err)
+			}
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"mits/internal/lint/leaktest"
 	"time"
 
 	"mits/internal/transport"
@@ -194,6 +196,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestServiceOverLoopbackAndTCP(t *testing.T) {
+	leaktest.Check(t)
 	s := testSchool(t)
 	mux := transport.NewMux()
 	RegisterService(mux, s)
@@ -267,6 +270,7 @@ func TestServiceOverLoopbackAndTCP(t *testing.T) {
 }
 
 func TestConcurrentAdministration(t *testing.T) {
+	leaktest.Check(t)
 	s := testSchool(t)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

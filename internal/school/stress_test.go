@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"mits/internal/lint/leaktest"
 )
 
 // TestSchoolConcurrentStress exercises the administration APIs from
@@ -13,6 +15,7 @@ import (
 // and §3.4.1's school server handles every navigator in parallel. Run
 // with -race.
 func TestSchoolConcurrentStress(t *testing.T) {
+	leaktest.Check(t)
 	s := testSchool(t)
 	const workers = 8
 	const iters = 100

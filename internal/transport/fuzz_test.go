@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the frame decoder. Both
+// header versions are seeded: v1 (untraced) and v2 (16-byte trace
+// context between the id and the name). Anything that decodes must
+// survive a marshal/unmarshal round trip unchanged.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range []*frame{
+		{kind: kindRequest, id: 1, method: "GetDoc", payload: []byte("atm-course")},
+		{kind: kindResponse, id: 1, payload: []byte{1, 2, 3}},
+		{kind: kindResponse, id: 7, errText: "transport: unknown method"},
+		{kind: kindRequest, id: 9, trace: 0xdeadbeef, span: 0x42, method: "Search", payload: []byte("broadband")},
+		{kind: kindResponse, id: 9, trace: 0xdeadbeef, span: 0x43},
+	} {
+		f.Add(fr.marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(kindRequestV2), 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := unmarshalFrame(data)
+		if err != nil {
+			return
+		}
+		fr2, err := unmarshalFrame(fr.marshal())
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-decode: %v", err)
+		}
+		if fr2.kind != fr.kind || fr2.id != fr.id || fr2.method != fr.method ||
+			fr2.errText != fr.errText || !bytes.Equal(fr2.payload, fr.payload) {
+			t.Fatalf("round trip changed frame:\n%+v\n%+v", fr, fr2)
+		}
+		// A span without a trace id is not a trace context; marshal is
+		// free to drop it, so only compare when the frame is traced.
+		if fr.trace != 0 && (fr2.trace != fr.trace || fr2.span != fr.span) {
+			t.Fatalf("round trip dropped trace context:\n%+v\n%+v", fr, fr2)
+		}
+	})
+}

@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"testing"
+
+	"mits/internal/lint/leaktest"
 )
 
 func echoHandler() Handler {
@@ -15,6 +17,7 @@ func echoHandler() Handler {
 // number of times, concurrently, and that every call drains and
 // returns the first call's listener error.
 func TestTCPServerCloseIdempotent(t *testing.T) {
+	leaktest.Check(t)
 	s := NewTCPServer(echoHandler())
 	if _, err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -41,6 +44,7 @@ func TestTCPServerCloseIdempotent(t *testing.T) {
 // concurrent Close could wg.Wait past a zero counter and return while
 // the accept loop was still starting. Run with -race.
 func TestTCPServerListenCloseRace(t *testing.T) {
+	leaktest.Check(t)
 	for i := 0; i < 100; i++ {
 		s := NewTCPServer(echoHandler())
 		var wg sync.WaitGroup
@@ -69,6 +73,7 @@ func TestTCPServerListenCloseRace(t *testing.T) {
 // TestTCPServerCloseDrainsConnections checks Close unblocks serving
 // goroutines that are parked in readFrame on live client connections.
 func TestTCPServerCloseDrainsConnections(t *testing.T) {
+	leaktest.Check(t)
 	s := NewTCPServer(echoHandler())
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
@@ -103,6 +108,7 @@ func TestTCPServerCloseDrainsConnections(t *testing.T) {
 // TestTCPClientCloseIdempotent checks repeated and concurrent client
 // closes all return the first close's result.
 func TestTCPClientCloseIdempotent(t *testing.T) {
+	leaktest.Check(t)
 	s := NewTCPServer(echoHandler())
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"mits/internal/lint/leaktest"
+
 	"mits/internal/obs"
 )
 
@@ -85,6 +87,7 @@ func TestFrameV2Truncated(t *testing.T) {
 // ID, with the server span parented on the client span — the
 // acceptance path for following one GetDocument across sites.
 func TestTraceAcrossTCP(t *testing.T) {
+	leaktest.Check(t)
 	mux := NewMux()
 	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })
 	srv := NewTCPServer(mux)
@@ -147,6 +150,7 @@ func TestTraceAcrossTCP(t *testing.T) {
 // carrier too: the server span recorded while handling an ATM RPC
 // joins the trace opened by Go.
 func TestTraceAcrossATM(t *testing.T) {
+	leaktest.Check(t)
 	n, client, server := atmTestNet(t)
 	mux := NewMux()
 	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mits/internal/lint/leaktest"
 	"testing/quick"
 	"time"
 
@@ -94,6 +96,7 @@ func TestDBOverLoopback(t *testing.T) {
 }
 
 func TestDBOverTCP(t *testing.T) {
+	leaktest.Check(t)
 	store := testStore(t)
 	mux := NewMux()
 	RegisterStore(mux, store)
@@ -156,6 +159,7 @@ func exerciseDB(t *testing.T, db DBClient) {
 }
 
 func TestTCPConcurrentClients(t *testing.T) {
+	leaktest.Check(t)
 	store := testStore(t)
 	mux := NewMux()
 	RegisterStore(mux, store)
@@ -195,6 +199,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 }
 
 func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	leaktest.Check(t)
 	mux := NewMux()
 	srv := NewTCPServer(mux)
 	addr, err := srv.Listen("127.0.0.1:0")

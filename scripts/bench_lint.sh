@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_lint.sh — measures mitslint wall-clock over the whole tree and
+# writes BENCH_lint.json next to BENCH_obs.json, so analyzer additions
+# that regress lint time show up in review. The binary is built first
+# so the measurement is analysis time, not compile time; the run is
+# repeated and the best of three keeps scheduler noise out of the
+# baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/mitslint.bench ./cmd/mitslint
+trap 'rm -f /tmp/mitslint.bench' EXIT
+
+analyzers=$(/tmp/mitslint.bench -list | wc -l)
+packages=$(go list ./... | wc -l)
+
+best_ms=""
+for run in 1 2 3; do
+	start=$(date +%s%N)
+	/tmp/mitslint.bench ./...
+	end=$(date +%s%N)
+	ms=$(( (end - start) / 1000000 ))
+	if [ -z "$best_ms" ] || [ "$ms" -lt "$best_ms" ]; then
+		best_ms=$ms
+	fi
+done
+
+cat > BENCH_lint.json <<EOF
+{
+  "benchmark": "mitslint",
+  "command": "mitslint ./...",
+  "analyzers": $analyzers,
+  "packages": $packages,
+  "best_of": 3,
+  "wall_ms": $best_ms
+}
+EOF
+echo "mitslint ./... ($analyzers analyzers, $packages packages): ${best_ms} ms"

@@ -19,6 +19,21 @@ go run ./cmd/mitslint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke: each decoder fuzzer runs briefly so a regression that
+# only hostile input reaches fails the gate, not a user. The checked-in
+# seed corpora already replayed in the test run above; this explores
+# beyond them. Sequential: go fuzzing owns all CPUs per target.
+for target in \
+	FuzzFrameDecode:./internal/transport/ \
+	FuzzAAL5Reassemble:./internal/atm/ \
+	FuzzMHEGDecode:./internal/mheg/codec/ \
+	FuzzMarkupParse:./internal/markup/ ; do
+	fuzz=${target%%:*}
+	pkg=${target#*:}
+	echo "==> go test -fuzz=$fuzz -fuzztime=10s $pkg"
+	go test -fuzz="$fuzz" -fuzztime=10s "$pkg"
+done
+
 # Observability gate: the obs package under the race detector, the
 # end-to-end traced-RPC smoke (TCP round trip + stats scrape), and the
 # transport latency baseline written to BENCH_obs.json.

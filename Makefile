@@ -28,6 +28,15 @@ fuzz:
 bench:
 	go test -bench=. -benchmem .
 
+# Chaos gate: the E28 fault matrix (injected loss, stalls, corruption,
+# truncation, flaky accepts, partition-heal, ATM drops, starved
+# streams) under the race detector, plus the fault-recovery latency
+# benchmark (scripts/bench_faults.sh writes BENCH_faults.json).
+.PHONY: chaos
+chaos:
+	go test -race -run 'TestAllExperimentsPassShapeChecks/E28' -v ./internal/experiments/
+	./scripts/bench_faults.sh
+
 # Observability checks alone: obs tests, the traced-RPC smoke scrape,
 # and the transport latency baseline (writes BENCH_obs.json).
 .PHONY: obs

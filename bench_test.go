@@ -9,6 +9,7 @@ package mits
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"mits/internal/courseware"
 	"mits/internal/document"
 	"mits/internal/facilitator"
+	"mits/internal/faults"
 	"mits/internal/hytime"
 	"mits/internal/media"
 	"mits/internal/mediastore"
@@ -826,4 +828,91 @@ func publishDoc(sys *System) error {
 		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm"},
 	})
 	return err
+}
+
+// BenchmarkE28FaultRecovery — the resilience baseline: resilient
+// database clients (deadline + retry + breaker) calling through fault
+// injectors, one stack per scenario. Each iteration issues one call
+// per scenario; the reported percentiles are whole-call latencies
+// including every retry and backoff the recovery needed. Besides
+// ns/op it writes BENCH_faults.json with per-scenario p50/p99 recovery
+// latency (scripts/bench_faults.sh runs it to refresh the baseline).
+func BenchmarkE28FaultRecovery(b *testing.B) {
+	scens := []struct {
+		name string
+		scen faults.Scenario
+	}{
+		{"clean", faults.Scenario{}},
+		{"lossy", faults.Scenario{DropProb: 0.3}},
+		{"stall", faults.Scenario{StallProb: 0.3, StallFor: 80 * time.Millisecond}},
+		{"truncate", faults.Scenario{TruncProb: 0.3}},
+	}
+	type stack struct {
+		name string
+		db   transport.DBClient
+		lat  sim.Series
+	}
+	stacks := make([]*stack, 0, len(scens))
+	for i, sc := range scens {
+		store := mediastore.New()
+		if _, err := store.PutDocument("doc", "Doc", "text", []byte("body")); err != nil {
+			b.Fatal(err)
+		}
+		mux := transport.NewMux()
+		transport.RegisterStore(mux, store)
+		srv := transport.NewTCPServer(mux)
+		srv.ConnTimeout = 200 * time.Millisecond
+		inj := faults.NewInjector(sc.scen, uint64(0xBE7C+17*i))
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Serve(inj.WrapListener(lis)); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close() //mits:allow errdrop benchmark teardown
+		addr := lis.Addr().String()
+		dial := func() (transport.Client, error) {
+			conn, derr := inj.Dial(addr)
+			if derr != nil {
+				return nil, derr
+			}
+			c := transport.NewTCPClient(conn)
+			c.Timeout = 50 * time.Millisecond
+			return c, nil
+		}
+		db, _ := transport.NewResilientDBClient(sc.name, dial, transport.RetryPolicy{
+			Attempts: 4, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		}, 8, 100*time.Millisecond, uint64(0xBE7C+17*i))
+		defer db.C.Close() //mits:allow errdrop benchmark teardown
+		stacks = append(stacks, &stack{name: sc.name, db: db})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range stacks {
+			start := time.Now()
+			st.db.GetListDoc() //mits:allow errdrop typed failures under injected faults are expected
+			st.lat.AddDuration(time.Since(start))
+		}
+	}
+	b.StopTimer()
+
+	out := map[string]any{"benchmark": "E28FaultRecovery", "calls_per_scenario": b.N}
+	for _, st := range stacks {
+		out[st.name] = map[string]int64{
+			"count":  int64(st.lat.N()),
+			"p50_ns": int64(st.lat.Percentile(50)),
+			"p99_ns": int64(st.lat.Percentile(99)),
+		}
+		b.ReportMetric(st.lat.Percentile(99), st.name+"_p99_ns")
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

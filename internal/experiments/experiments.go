@@ -114,6 +114,7 @@ func All() []Entry {
 		{"E24", E24Conferencing},
 		{"E25", E25InterMediaSync},
 		{"E26", E26ABRFeedback},
+		{"E28", E28Chaos},
 	}
 }
 

@@ -13,6 +13,14 @@
 //	go writeFrame(w, f)          // goroutine, error unobservable
 //
 // Intentional best-effort calls take //mits:allow errdrop on the line.
+//
+// One structural exemption: Close calls inside methods of the
+// transport retry helpers (RetryHelperReceivers, e.g. RetryClient) are
+// not flagged. A retry helper discards a failed connection after the
+// attempt's error has already been captured and wrapped for the
+// caller; the discarded Close error is noise by contract, and
+// annotating every such line would train readers to ignore the
+// annotation.
 package errdrop
 
 import (
@@ -27,6 +35,11 @@ import (
 // be dropped.
 var TargetSegments = []string{"transport", "mediastore"}
 
+// RetryHelperReceivers names receiver types whose methods may drop
+// Close errors: the retry loop has already captured the attempt's
+// real error, and the discarded connection's close result is noise.
+var RetryHelperReceivers = map[string]bool{"RetryClient": true}
+
 // Analyzer is the errdrop pass.
 var Analyzer = &lint.Analyzer{
 	Name: "errdrop",
@@ -36,23 +49,46 @@ var Analyzer = &lint.Analyzer{
 
 func run(pass *lint.Pass) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				if call, ok := n.X.(*ast.CallExpr); ok {
-					checkDropped(pass, call, "ignored")
-				}
-			case *ast.DeferStmt:
-				checkDropped(pass, n.Call, "deferred and ignored")
-			case *ast.GoStmt:
-				checkDropped(pass, n.Call, "spawned and ignored")
-			case *ast.AssignStmt:
-				checkBlanked(pass, n)
+		for _, decl := range f.Decls {
+			exempt := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				exempt = isRetryHelperMethod(fd)
 			}
-			return true
-		})
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDropped(pass, call, "ignored", exempt)
+					}
+				case *ast.DeferStmt:
+					checkDropped(pass, n.Call, "deferred and ignored", exempt)
+				case *ast.GoStmt:
+					checkDropped(pass, n.Call, "spawned and ignored", exempt)
+				case *ast.AssignStmt:
+					checkBlanked(pass, n)
+				}
+				return true
+			})
+		}
 	}
 	return nil
+}
+
+// isRetryHelperMethod reports whether fd is a method whose receiver's
+// type name is registered in RetryHelperReceivers.
+func isRetryHelperMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && RetryHelperReceivers[id.Name]
 }
 
 // targetFunc resolves a call to a function object declared in a target
@@ -97,10 +133,13 @@ func errorPositions(fn *types.Func) []int {
 	return out
 }
 
-func checkDropped(pass *lint.Pass, call *ast.CallExpr, how string) {
+func checkDropped(pass *lint.Pass, call *ast.CallExpr, how string, inRetryHelper bool) {
 	fn := targetFunc(pass, call)
 	if fn == nil || len(errorPositions(fn)) == 0 {
 		return
+	}
+	if inRetryHelper && fn.Name() == "Close" {
+		return // retry helpers discard failed connections by contract
 	}
 	pass.Reportf(call.Pos(), "error from %s.%s is %s — handle it or annotate //mits:allow errdrop", fn.Pkg().Name(), fn.Name(), how)
 }

@@ -7,5 +7,5 @@ import (
 )
 
 func TestErrdrop(t *testing.T) {
-	lint.RunTest(t, "testdata", Analyzer, "a")
+	lint.RunTest(t, "testdata", Analyzer, "a", "transport")
 }

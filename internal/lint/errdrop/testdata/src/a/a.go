@@ -36,3 +36,26 @@ func Handled(c *transport.Client) error {
 	c.Close() //mits:allow errdrop best-effort teardown
 	return nil
 }
+
+// RetryClient mirrors the transport retry helper's name: the errdrop
+// retry-helper convention is receiver-name based, so its methods may
+// drop Close errors (the attempt's error was already surfaced) but
+// nothing else.
+type RetryClient struct{ cur *transport.Client }
+
+func (r *RetryClient) discard(c *transport.Client) {
+	r.cur = nil
+	c.Close() // exempt: Close inside a retry-helper method
+}
+
+func (r *RetryClient) refresh() {
+	r.cur.Call("m") // want `error from transport.Call is ignored`
+}
+
+// NotAHelper has a non-registered receiver: Close drops are still
+// flagged.
+type NotAHelper struct{}
+
+func (n *NotAHelper) teardown(c *transport.Client) {
+	c.Close() // want `error from transport.Close is ignored`
+}

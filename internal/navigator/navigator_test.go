@@ -393,6 +393,66 @@ func TestStreamVideoOverCBRvsCongestedUBR(t *testing.T) {
 	}
 }
 
+func TestStreamVideoAdaptiveCleanPathStaysFullQuality(t *testing.T) {
+	n := atm.New()
+	srv := n.AddHost("server")
+	cli := n.AddHost("client")
+	sw := n.AddSwitch("s1")
+	n.Connect(srv, sw, 155e6, 200*time.Microsecond)
+	n.Connect(sw, cli, 155e6, 200*time.Microsecond)
+	video := media.EncodeMPEG(media.VideoParams{Duration: 2 * time.Second, BitRate: 1.5e6, Seed: 3})
+	stats, err := StreamVideoAdaptive(n, srv, cli, atm.VBRContract(2e6, 8e6, 200), video, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxLevel != DegradeNone || stats.Degraded != 0 || stats.Skipped != 0 {
+		t.Errorf("clean path degraded: level=%v degraded=%d skipped=%d",
+			stats.MaxLevel, stats.Degraded, stats.Skipped)
+	}
+	if stats.MissRate() > 0.01 {
+		t.Errorf("clean adaptive stream missed %.1f%% of deadlines", 100*stats.MissRate())
+	}
+}
+
+func TestStreamVideoAdaptiveDegradesOnStarvedPath(t *testing.T) {
+	// A 600 kb/s bottleneck cannot carry the 1.5 Mb/s stream at full
+	// quality: the rigid sender stalls its tail into oblivion, while
+	// the adaptive sender climbs the ladder (smaller frames, then
+	// skipping B-frames) and keeps what it does send closer to
+	// schedule.
+	build := func() (*atm.Network, *atm.Host, *atm.Host) {
+		n := atm.New()
+		srv := n.AddHost("server")
+		cli := n.AddHost("client")
+		sw := n.AddSwitch("s1")
+		n.Connect(srv, sw, 155e6, 200*time.Microsecond)
+		n.Connect(sw, cli, 600e3, 200*time.Microsecond)
+		return n, srv, cli
+	}
+	video := media.EncodeMPEG(media.VideoParams{Duration: 2 * time.Second, BitRate: 1.5e6, Seed: 3})
+
+	n1, srv1, cli1 := build()
+	rigid, err := StreamVideo(n1, srv1, cli1, atm.UBRContract(2e6), video, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, srv2, cli2 := build()
+	adaptive, err := StreamVideoAdaptive(n2, srv2, cli2, atm.UBRContract(2e6), video, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.MaxLevel == DegradeNone {
+		t.Error("starved path never escalated the degradation ladder")
+	}
+	if adaptive.Degraded == 0 {
+		t.Error("no frames sent at reduced quality on a starved path")
+	}
+	if adaptive.MissRate() >= rigid.MissRate() {
+		t.Errorf("adaptive miss rate %.2f not better than rigid %.2f",
+			adaptive.MissRate(), rigid.MissRate())
+	}
+}
+
 func TestScreenString(t *testing.T) {
 	nav, _, _ := buildSchool(t)
 	nav.Register(school.Profile{Name: "A"})

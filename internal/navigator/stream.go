@@ -32,6 +32,12 @@ type StreamStats struct {
 	// Jitter is the per-frame arrival deviation from the ideal paced
 	// schedule.
 	Jitter sim.Series
+	// Degradation accounting (StreamVideoAdaptive): frames sent at
+	// reduced size, B-frames skipped outright, and the highest ladder
+	// rung the stream was forced onto.
+	Degraded int
+	Skipped  int
+	MaxLevel DegradeLevel
 }
 
 // MissRate reports the fraction of frames missing their deadline.
@@ -138,4 +144,99 @@ func StreamVideo(n *atm.Network, server, client *atm.Host, td atm.TrafficDescrip
 	}
 	n.Clock().Run()
 	return player.Finish(frames), nil
+}
+
+// DegradeLevel is a rung on the graceful-degradation ladder the
+// adaptive streamer climbs when the network falls behind: first trade
+// picture quality (smaller frames), then trade frame rate (skip
+// B-frames — safe, nothing references them), never stall.
+type DegradeLevel int
+
+// The ladder, mildest first.
+const (
+	DegradeNone    DegradeLevel = iota // full-quality frames
+	DegradeReduced                     // half-size frames (coarser quantization)
+	DegradeSkipB                       // reduced size and B-frames dropped
+)
+
+func (l DegradeLevel) String() string {
+	switch l {
+	case DegradeNone:
+		return "none"
+	case DegradeReduced:
+		return "reduced"
+	case DegradeSkipB:
+		return "skip-b"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// StreamVideoAdaptive is StreamVideo with the degradation ladder: at
+// each frame's send time the server inspects its backlog (frames sent
+// but not yet delivered). When the backlog is worth more playback time
+// than the client's start-up buffer, stalling is inevitable at current
+// quality, so the server climbs a rung — halving frame bytes, then
+// also skipping B-frames; when the backlog fully drains it steps back
+// down. Skipped frames are excluded from deadline scoring (they were
+// never promised) and reported in StreamStats.Skipped.
+func StreamVideoAdaptive(n *atm.Network, server, client *atm.Host, td atm.TrafficDescriptor, data []byte, buffer time.Duration) (*StreamStats, error) {
+	frames, meta, err := media.ParseMPEG(data)
+	if err != nil {
+		return nil, fmt.Errorf("navigator: stream source: %w", err)
+	}
+	frameDur := time.Second / time.Duration(meta.FrameRate)
+	player := NewStreamPlayer(n.Clock(), buffer)
+	conn, err := n.Open(server, client, td, atm.OpenOptions{Deliver: player.Deliver})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	level := DegradeNone
+	maxLevel := DegradeNone
+	degraded, skipped := 0, 0
+	var sent []media.Frame
+	for _, f := range frames {
+		f := f
+		n.Clock().At(sim.Zero.Add(f.PTS), func(sim.Time) {
+			// Backlog in playback time; the clock is single-threaded, so
+			// reading the player's delivery count here is safe.
+			backlog := time.Duration(len(sent)-player.stats.Delivered) * frameDur
+			switch {
+			case backlog > buffer && level < DegradeSkipB:
+				level++
+				obs.GetCounter("navigator_degrade_escalations_total", "to", level.String()).Inc()
+			case backlog == 0 && level > DegradeNone:
+				level--
+			}
+			if level > maxLevel {
+				maxLevel = level
+			}
+			if level >= DegradeSkipB && f.Kind == media.BFrame {
+				skipped++
+				obs.GetCounter("navigator_frames_skipped_total").Inc()
+				return
+			}
+			size := f.Size
+			if level >= DegradeReduced {
+				size /= 2
+				degraded++
+				obs.GetCounter("navigator_frames_degraded_total").Inc()
+			}
+			if size > atm.MaxPDUSize {
+				size = atm.MaxPDUSize
+			}
+			sent = append(sent, f)
+			conn.Send(make([]byte, size)) //nolint:errcheck // loss shows up as a deadline miss
+		})
+	}
+	n.Clock().Run()
+	// Score against what was actually promised (sent frames, in order);
+	// report totals over the whole source.
+	stats := player.Finish(sent)
+	stats.Frames = len(frames)
+	stats.Degraded = degraded
+	stats.Skipped = skipped
+	stats.MaxLevel = maxLevel
+	return stats, nil
 }

@@ -117,8 +117,18 @@ func ServeStats(addr string) (*StatsServer, error) {
 	})
 	s := &StatsServer{
 		Addr: lis.Addr().String(),
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		lis:  lis,
+		// Full timeout set: without Read/Write/Idle timeouts a client
+		// that stops reading (or never finishes its request body) pins
+		// a serving goroutine forever — the stats port must never be
+		// the process's resource leak.
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		},
+		lis: lis,
 	}
 	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil

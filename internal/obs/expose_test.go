@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeStatsServesExposition(t *testing.T) {
+	GetCounter("expose_test_counter_total").Inc()
+	s, err := ServeStats("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "expose_test_counter_total") {
+		t.Error("/stats exposition missing a registered counter")
+	}
+	rh, err := http.Get("http://" + s.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh.Body.Close()
+	if rh.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", rh.StatusCode)
+	}
+}
+
+// TestServeStatsHasServerTimeouts is the regression for the unbounded
+// stats server: every http.Server timeout must be set, or a client
+// that stalls mid-request pins a goroutine for the process lifetime.
+func TestServeStatsHasServerTimeouts(t *testing.T) {
+	s, err := ServeStats("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for name, d := range map[string]time.Duration{
+		"ReadHeaderTimeout": s.srv.ReadHeaderTimeout,
+		"ReadTimeout":       s.srv.ReadTimeout,
+		"WriteTimeout":      s.srv.WriteTimeout,
+		"IdleTimeout":       s.srv.IdleTimeout,
+	} {
+		if d <= 0 {
+			t.Errorf("stats server %s is unset: a stalled client leaks a goroutine", name)
+		}
+	}
+}

@@ -26,6 +26,9 @@ type ATMSession struct {
 	// ServiceTime models server request-processing latency (database
 	// lookup, disk) before the response leaves.
 	ServiceTime time.Duration
+	// timeout and fault come from ATMSessionOptions; see there.
+	timeout time.Duration
+	fault   func(method string) (time.Duration, bool, error)
 
 	nextID   uint64
 	pending  map[uint64]func(payload []byte, err error)
@@ -100,6 +103,18 @@ type ATMSessionOptions struct {
 	Contract atm.TrafficDescriptor
 	// ServiceTime is the per-request server processing time.
 	ServiceTime time.Duration
+	// Timeout bounds each call on the virtual clock: if the response
+	// has not arrived within it, the callback fires with a CallError
+	// wrapping ErrCallTimeout and the pending entry is dropped. Lost
+	// requests (cells dropped, faults injected) therefore always
+	// complete instead of hanging the session.
+	Timeout time.Duration
+	// Fault, when set, is consulted before each request is sent — the
+	// chaos harness hook (see internal/faults.Injector.RPC): an extra
+	// virtual-time delay, a silently dropped request (only Timeout can
+	// then complete the call), or an injected error delivered to the
+	// callback after the delay.
+	Fault func(method string) (delay time.Duration, drop bool, err error)
 }
 
 // OpenATMSession wires a client host to a server host running handler.
@@ -112,6 +127,8 @@ func OpenATMSession(n *atm.Network, client, server *atm.Host, h Handler, opts AT
 		net:         n,
 		handler:     h,
 		ServiceTime: opts.ServiceTime,
+		timeout:     opts.Timeout,
+		fault:       opts.Fault,
 		pending:     make(map[uint64]func([]byte, error)),
 	}
 	var err error
@@ -149,10 +166,50 @@ func (s *ATMSession) Go(method string, payload []byte, cb func(payload []byte, e
 		}
 		cb(p, err)
 	}
+	if s.timeout > 0 {
+		id := f.id
+		s.net.Clock().After(s.timeout, func(sim.Time) {
+			s.complete(id, nil, &CallError{Method: method, Attempts: 1, Err: ErrCallTimeout})
+		})
+	}
+	var delay time.Duration
+	if s.fault != nil {
+		fdelay, drop, ferr := s.fault(method)
+		delay = fdelay
+		if drop {
+			// Request lost on the wire: nothing is sent, and only the
+			// timeout (if armed) completes the call.
+			return nil
+		}
+		if ferr != nil {
+			id := f.id
+			s.net.Clock().After(delay, func(sim.Time) {
+				s.complete(id, nil, &CallError{Method: method, Attempts: 1, Err: ferr})
+			})
+			return nil
+		}
+	}
 	body := f.marshal()
 	s.reqBytes += int64(len(body))
 	obsATMBytes.Add(int64(len(body)))
+	if delay > 0 {
+		s.net.Clock().After(delay, func(sim.Time) {
+			sendChunked(s.c2s, body) //mits:allow errdrop delayed send on a possibly-closed session
+		})
+		return nil
+	}
 	return sendChunked(s.c2s, body)
+}
+
+// complete fires and removes a pending callback; completions after the
+// call already finished (a response racing its own timeout) are no-ops.
+func (s *ATMSession) complete(id uint64, payload []byte, err error) {
+	cb, ok := s.pending[id]
+	if !ok {
+		return
+	}
+	delete(s.pending, id)
+	cb(payload, err)
 }
 
 func (s *ATMSession) onRequest(pdu []byte, _, _ sim.Time) {
@@ -197,16 +254,11 @@ func (s *ATMSession) onResponse(pdu []byte, _, _ sim.Time) {
 	if err != nil || resp.kind != kindResponse {
 		return
 	}
-	cb, ok := s.pending[resp.id]
-	if !ok {
-		return
-	}
-	delete(s.pending, resp.id)
 	if resp.errText != "" {
-		cb(nil, &RemoteError{Text: resp.errText})
+		s.complete(resp.id, nil, &RemoteError{Text: resp.errText})
 		return
 	}
-	cb(resp.payload, nil)
+	s.complete(resp.id, resp.payload, nil)
 }
 
 // Pending reports requests still awaiting a response.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"mits/internal/mediastore"
 )
@@ -229,4 +230,17 @@ func (d DBClient) FetchContent(ref string) ([]byte, error) {
 		return nil, fmt.Errorf("transport: fetch content %q: %w", ref, err)
 	}
 	return rec.Data, nil
+}
+
+// NewResilientDBClient builds the hardened client stack of DESIGN §9
+// around a dialer: a circuit breaker (outermost, so an open breaker
+// rejects before any retry or dial work) over an idempotent-retry
+// client that redials on connection failure. The breaker is returned
+// alongside so callers can observe or reset it; peer labels the
+// breaker's metrics. Seed fixes the retry jitter stream for
+// reproducible chaos runs.
+func NewResilientDBClient(peer string, dial Dialer, policy RetryPolicy, threshold int, cooldown time.Duration, seed uint64) (DBClient, *Breaker) {
+	br := NewBreaker(peer, threshold, cooldown)
+	rc := NewRetryClient(dial, policy, seed)
+	return DBClient{C: WithBreaker(rc, br)}, br
 }

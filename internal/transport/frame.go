@@ -79,7 +79,13 @@ func (f *frame) marshal() []byte {
 	return buf
 }
 
-var errBadFrame = errors.New("transport: malformed frame")
+// ErrBadFrame marks a wire frame that failed to decode — a corrupted
+// or desynchronized peer. It is typed so clients can distinguish
+// malformed traffic from timeouts and hangups.
+var ErrBadFrame = errors.New("transport: malformed frame")
+
+// errBadFrame is the internal alias predating the export.
+var errBadFrame = ErrBadFrame
 
 func unmarshalFrame(data []byte) (*frame, error) {
 	if len(data) < 1+8+4 {

@@ -1,0 +1,436 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mits/internal/obs"
+	"mits/internal/sim"
+)
+
+// This file is the resilience layer of the client–server model: typed
+// transport failures, idempotent retry with exponential backoff and
+// jitter, and a per-peer circuit breaker. The thesis assumes a
+// well-behaved broadband network; the ROADMAP's millions of users do
+// not. Every mechanism here is visible in /stats (retries, breaker
+// transitions) and is driven through its failure modes by the E28
+// chaos experiment on top of internal/faults.
+
+// Typed failures. Call sites inspect them with errors.Is; raw io.EOF
+// or net timeout errors never escape the transport client.
+var (
+	// ErrPeerClosed: the peer hung up mid-call (EOF, reset, closed
+	// connection).
+	ErrPeerClosed = errors.New("transport: peer closed connection")
+	// ErrCallTimeout: the per-call deadline expired before a response.
+	ErrCallTimeout = errors.New("transport: call deadline exceeded")
+	// ErrBreakerOpen: the circuit breaker is rejecting calls fast
+	// while the peer cools down.
+	ErrBreakerOpen = errors.New("transport: circuit breaker open")
+	// ErrDial: establishing the connection failed; nothing was sent.
+	ErrDial = errors.New("transport: dial failed")
+)
+
+// CallError is the typed wrapper every failed client call returns:
+// which method failed, after how many attempts, and the underlying
+// cause (inspect with errors.Is/As).
+type CallError struct {
+	Method   string
+	Attempts int
+	Err      error
+}
+
+func (e *CallError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("transport: call %s (after %d attempts): %v", e.Method, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("transport: call %s: %v", e.Method, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *CallError) Unwrap() error { return e.Err }
+
+// idempotentMethods are the read-only courseware-database methods: a
+// duplicate delivery changes nothing, so they are safe to retry after
+// a failure whose outcome is unknown.
+var idempotentMethods = map[string]bool{
+	MethodListDocs:     true,
+	MethodGetDoc:       true,
+	MethodKeywordTree:  true,
+	MethodDocByKeyword: true,
+	MethodGetContent:   true,
+}
+
+// IsIdempotent reports whether method is safe to retry blindly.
+func IsIdempotent(method string) bool { return idempotentMethods[method] }
+
+// RetryPolicy configures RetryClient: attempt budget, exponential
+// backoff with jitter, and the retry decision. The zero value gets
+// sane defaults (3 attempts, 5ms base backoff doubling to 100ms,
+// ±50% jitter, DefaultRetryable).
+type RetryPolicy struct {
+	// Attempts is the total call budget (first try included).
+	Attempts int
+	// BaseBackoff is the pause before the first retry; each further
+	// retry doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each backoff uniformly over ±frac of itself,
+	// decorrelating clients that failed together.
+	JitterFrac float64
+	// Retryable decides whether a failed attempt may be retried; nil
+	// means DefaultRetryable. Dial failures are always retried —
+	// nothing was sent.
+	Retryable func(method string, err error) bool
+	// Sleep waits out a backoff; nil means a real clock wait. Tests
+	// inject a recorder.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	}
+	if p.Retryable == nil {
+		p.Retryable = DefaultRetryable
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(d time.Duration) {
+			time.Sleep(d) //mits:allow sleepless retry backoff is a deliberate wall-clock wait
+		}
+	}
+	return p
+}
+
+// DefaultRetryable retries idempotent methods on transport-level
+// failures. Breaker rejections are never retried (the point is to
+// fail fast), and neither are remote handler errors — the carrier
+// worked and the server's answer is deterministic, so a retry would
+// only repeat it. Non-idempotent methods are never retried here
+// (their dial-stage failures are retried by RetryClient directly,
+// where it is known nothing was sent).
+func DefaultRetryable(method string, err error) bool {
+	if errors.Is(err, ErrBreakerOpen) {
+		return false
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	return IsIdempotent(method)
+}
+
+// backoffFor computes the pause before retry #retry (1-based),
+// exponential with cap and jitter. rng draws are deterministic per
+// seed, so chaos runs replay their backoff schedule exactly.
+func (p RetryPolicy) backoffFor(retry int, rng *sim.RNG) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + p.JitterFrac*(2*rng.Float64()-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Dialer establishes one client connection to a peer.
+type Dialer func() (Client, error)
+
+// RetryClient is a self-healing Client: it dials lazily, retries
+// idempotent calls with exponential backoff + jitter, and redials
+// after transport-level failures (a failed connection's framing state
+// is unknown, so it is discarded rather than reused). Remote handler
+// errors keep the connection: the carrier worked.
+type RetryClient struct {
+	dial   Dialer
+	policy RetryPolicy
+
+	mu     sync.Mutex
+	rng    *sim.RNG
+	cur    Client
+	closed bool
+}
+
+// NewRetryClient wraps dial with policy; seed fixes the jitter stream
+// so runs replay deterministically.
+func NewRetryClient(dial Dialer, policy RetryPolicy, seed uint64) *RetryClient {
+	return &RetryClient{dial: dial, policy: policy.withDefaults(), rng: sim.NewRNG(seed)}
+}
+
+// Call implements Client with the retry loop.
+func (r *RetryClient) Call(method string, payload []byte) ([]byte, error) {
+	p := r.policy
+	var lastErr error
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		if attempt > 1 {
+			d := r.jitteredBackoff(attempt - 1)
+			obs.GetCounter("transport_retries_total", "method", method).Inc()
+			obs.Observe("transport_retry_backoff_ns", d)
+			p.Sleep(d)
+		}
+		cl, err := r.client()
+		if err != nil {
+			if errors.Is(err, errRetryClientClosed) {
+				return nil, &CallError{Method: method, Attempts: attempt, Err: err}
+			}
+			obs.GetCounter("transport_dial_errors_total").Inc()
+			lastErr = fmt.Errorf("%w: %w", ErrDial, err)
+			continue // nothing was sent: always safe to retry
+		}
+		out, err := cl.Call(method, payload)
+		if err == nil {
+			if attempt > 1 {
+				obs.GetCounter("transport_retry_recoveries_total", "method", method).Inc()
+			}
+			return out, nil
+		}
+		lastErr = err
+		var remote *RemoteError
+		if !errors.As(err, &remote) {
+			// Transport-level failure: the connection's framing state
+			// is unknown; discard it so the next attempt redials.
+			r.discard(cl)
+		}
+		if !p.Retryable(method, err) {
+			break
+		}
+	}
+	var ce *CallError
+	if errors.As(lastErr, &ce) {
+		return nil, lastErr // already typed by the inner client
+	}
+	return nil, &CallError{Method: method, Attempts: p.Attempts, Err: lastErr}
+}
+
+var errRetryClientClosed = errors.New("transport: retry client closed")
+
+// jitteredBackoff draws the next backoff under the client's lock (the
+// RNG is not concurrency-safe).
+func (r *RetryClient) jitteredBackoff(retry int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy.backoffFor(retry, r.rng)
+}
+
+// client returns the live connection, dialing if needed.
+func (r *RetryClient) client() (Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errRetryClientClosed
+	}
+	if r.cur != nil {
+		return r.cur, nil
+	}
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.cur = c
+	return c, nil
+}
+
+// discard drops a failed connection so the next attempt redials. The
+// attempt has already failed: the broken connection's close error is
+// noise, and the retry loop deliberately drops it (errdrop knows this
+// retry-helper convention).
+func (r *RetryClient) discard(cl Client) {
+	r.mu.Lock()
+	if r.cur == cl {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+	cl.Close()
+}
+
+// Close implements Client; further calls fail fast with a typed error.
+func (r *RetryClient) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	cl := r.cur
+	r.cur = nil
+	r.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
+	}
+	return nil
+}
+
+// BreakerState is the circuit-breaker position.
+type BreakerState int32
+
+// The classic three positions.
+const (
+	BreakerClosed   BreakerState = iota // calls flow, failures counted
+	BreakerOpen                         // calls rejected until cooldown
+	BreakerHalfOpen                     // one probe in flight decides
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Breaker is a per-peer circuit breaker: after Threshold consecutive
+// failures it opens and rejects calls instantly (no timeout waits
+// pile up against a dead peer); after Cooldown it half-opens and lets
+// one probe through — success closes it, failure re-opens. State
+// transitions and rejections are counted in /stats.
+type Breaker struct {
+	peer      string
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker for the named peer. threshold ≤ 0
+// defaults to 5 consecutive failures; cooldown ≤ 0 to 500ms.
+func NewBreaker(peer string, threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{peer: peer, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock injects a time source (tests); returns the breaker.
+func (b *Breaker) SetClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+	return b
+}
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transitionLocked moves to a new state, counting it. Callers hold
+// b.mu.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	obs.GetCounter("transport_breaker_transitions_total", "peer", b.peer, "to", to.String()).Inc()
+}
+
+// Allow reports whether a call may proceed, returning ErrBreakerOpen
+// (wrapped with the peer name) for fast-fail rejections.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.transitionLocked(BreakerHalfOpen)
+			b.probing = true
+			return nil
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	obs.GetCounter("transport_breaker_rejected_total", "peer", b.peer).Inc()
+	return fmt.Errorf("%w: peer %s", ErrBreakerOpen, b.peer)
+}
+
+// Record feeds one call outcome back into the breaker.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.probing = false
+		b.transitionLocked(BreakerClosed)
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.transitionLocked(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transitionLocked(BreakerOpen)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; nothing to learn.
+	}
+}
+
+// BreakerClient guards a Client with a Breaker. Remote handler errors
+// do not count against the peer — the carrier worked; only
+// transport-level failures trip the breaker.
+type BreakerClient struct {
+	c Client
+	b *Breaker
+}
+
+// WithBreaker wraps c.
+func WithBreaker(c Client, b *Breaker) *BreakerClient {
+	return &BreakerClient{c: c, b: b}
+}
+
+// Call implements Client: fast-fail while open, record outcomes.
+func (bc *BreakerClient) Call(method string, payload []byte) ([]byte, error) {
+	if err := bc.b.Allow(); err != nil {
+		return nil, &CallError{Method: method, Err: err}
+	}
+	out, err := bc.c.Call(method, payload)
+	var remote *RemoteError
+	if err != nil && errors.As(err, &remote) {
+		bc.b.Record(nil)
+	} else {
+		bc.b.Record(err)
+	}
+	return out, err
+}
+
+// Close implements Client.
+func (bc *BreakerClient) Close() error { return bc.c.Close() }
+
+// Breaker exposes the guarding breaker (for state assertions).
+func (bc *BreakerClient) Breaker() *Breaker { return bc.b }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"mits/internal/obs"
@@ -37,6 +38,11 @@ func writeFrame(w io.Writer, f *frame) error {
 	return err
 }
 
+// readChunk is the initial/step allocation for frame bodies: large
+// enough that ordinary frames take one allocation, small enough that a
+// hostile header can't reserve much before any payload arrives.
+const readChunk = 64 << 10
+
 // readFrame receives one length-prefixed frame.
 func readFrame(r io.Reader) (*frame, error) {
 	var hdr [4]byte
@@ -47,12 +53,46 @@ func readFrame(r io.Reader) (*frame, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readBody(r, int(n))
+	if err != nil {
 		return nil, err
 	}
 	obsBytesRx.Add(int64(4 + len(body)))
 	return unmarshalFrame(body)
+}
+
+// readBody reads exactly n bytes, growing the buffer as data actually
+// arrives: a peer advertising a huge-but-legal length gets at most one
+// readChunk of memory up front, and capacity only doubles after the
+// previously granted bytes have been delivered.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		body := make([]byte, n)
+		_, err := io.ReadFull(r, body)
+		return body, err
+	}
+	buf := make([]byte, readChunk)
+	read := 0
+	for read < n {
+		want := n - read
+		if want > readChunk {
+			want = readChunk
+		}
+		if read+want > len(buf) {
+			grown := 2 * len(buf)
+			if grown > n {
+				grown = n
+			}
+			nb := make([]byte, grown)
+			copy(nb, buf[:read])
+			buf = nb
+		}
+		if _, err := io.ReadFull(r, buf[read:read+want]); err != nil {
+			return nil, err
+		}
+		read += want
+	}
+	return buf[:n], nil
 }
 
 // TCPServer serves a Handler over TCP — the content server process of
@@ -60,6 +100,12 @@ func readFrame(r io.Reader) (*frame, error) {
 // independent programs running on remote hosts".
 type TCPServer struct {
 	handler Handler
+
+	// ConnTimeout, when set, bounds each frame read and write on every
+	// connection (a per-operation deadline): a stalled or vanished
+	// client cannot pin a serving goroutine forever. It also acts as
+	// an idle timeout between requests. Set before Listen/Serve.
+	ConnTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -82,11 +128,21 @@ func (s *TCPServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := s.Serve(l); err != nil {
+		l.Close()
+		return "", err
+	}
+	return l.Addr().String(), nil
+}
+
+// Serve starts accepting on an existing listener — for example one
+// wrapped by a fault injector — and returns immediately; serving
+// proceeds on background goroutines until Close.
+func (s *TCPServer) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		l.Close()
-		return "", errors.New("transport: server already closed")
+		return errors.New("transport: server already closed")
 	}
 	s.listener = l
 	// Register the accept loop before releasing the lock: a concurrent
@@ -95,16 +151,46 @@ func (s *TCPServer) Listen(addr string) (string, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 	go s.acceptLoop(l)
-	return l.Addr().String(), nil
+	return nil
+}
+
+// Accept-loop backoff bounds for temporary errors (fd exhaustion, a
+// misbehaving NIC, an injected fault): back off instead of spinning or
+// dying, and reset once an accept succeeds.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// isTemporary reports whether an accept error is worth retrying. The
+// net.Error.Temporary contract is deprecated for general errors but
+// remains the accept-loop idiom (net/http does the same).
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary() //nolint:staticcheck
 }
 
 func (s *TCPServer) acceptLoop(l net.Listener) {
 	defer s.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return // listener closed
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) || !isTemporary(err) {
+				return // listener closed or permanently broken
+			}
+			obs.GetCounter("transport_accept_retries_total").Inc()
+			time.Sleep(backoff) //mits:allow sleepless accept backoff against a transiently failing listener
+			backoff *= 2
+			if backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -127,6 +213,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.ConnTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.ConnTimeout))
+		}
 		req, err := readFrame(conn)
 		if err != nil {
 			return
@@ -154,6 +243,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if herr != nil {
 			resp.errText = herr.Error()
 			resp.payload = nil
+		}
+		if s.ConnTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.ConnTimeout))
 		}
 		if err := writeFrame(conn, resp); err != nil {
 			return
@@ -186,6 +278,11 @@ func (s *TCPServer) Close() error {
 // issues one call at a time per connection, like the thesis's
 // Client() routine.
 type TCPClient struct {
+	// Timeout, when set, is the per-call deadline: a call that has not
+	// completed within it fails with ErrCallTimeout instead of waiting
+	// on a slow or dead peer forever. Set before the first Call.
+	Timeout time.Duration
+
 	mu        sync.Mutex
 	conn      net.Conn
 	nextID    uint64
@@ -201,7 +298,13 @@ func DialTCP(addr string) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TCPClient{conn: conn}, nil
+	return NewTCPClient(conn), nil
+}
+
+// NewTCPClient wraps an established connection — for example one
+// produced by a fault injector — in a client.
+func NewTCPClient(conn net.Conn) *TCPClient {
+	return &TCPClient{conn: conn}
 }
 
 // Call implements Client: send a request, wait for its response. Every
@@ -227,22 +330,50 @@ func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 	return payload, err
 }
 
-// roundTrip is the untimed core of Call.
+// roundTrip is the untimed core of Call. Every failure it returns is
+// typed: RemoteError for server-side failures, otherwise a CallError
+// wrapping ErrCallTimeout / ErrPeerClosed / ErrBadFrame — raw io.EOF
+// or net timeouts never leak to callers.
 func (c *TCPClient) roundTrip(req *frame) ([]byte, error) {
+	if c.Timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
+		}
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset; the next call re-arms it
+	}
 	if err := writeFrame(c.conn, req); err != nil {
-		return nil, err
+		return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
 	}
 	resp, err := readFrame(c.conn)
 	if err != nil {
-		return nil, err
+		return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
 	}
 	if resp.id != req.id {
-		return nil, fmt.Errorf("transport: response id %d for request %d", resp.id, req.id)
+		return nil, &CallError{Method: req.method, Err: fmt.Errorf("%w: response id %d for request %d", ErrBadFrame, resp.id, req.id)}
 	}
 	if resp.errText != "" {
 		return nil, &RemoteError{Method: req.method, Text: resp.errText}
 	}
 	return resp.payload, nil
+}
+
+// classifyIOErr maps raw I/O failures onto the typed transport errors.
+func classifyIOErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrBadFrame):
+		return err // already typed
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed), errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return fmt.Errorf("%w (%v)", ErrPeerClosed, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (%v)", ErrCallTimeout, err)
+	}
+	return err
 }
 
 // LastTrace reports the trace ID of the most recent Call — the handle

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_faults.sh — fault-recovery latency baseline. Runs the E28
+# recovery benchmark (clean / lossy / stall / truncate stacks behind
+# the retry+breaker client) and leaves per-scenario p50/p99 recovery
+# latencies in BENCH_faults.json at the repo root. Compare against a
+# committed baseline by eye; the shape that matters is that clean p99
+# stays microseconds-to-low-ms while the fault scenarios stay bounded
+# by (attempts x timeout + backoff), not unbounded.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go test -run=NONE -bench=BenchmarkE28FaultRecovery -benchtime=30x ."
+go test -run=NONE -bench=BenchmarkE28FaultRecovery -benchtime=30x .
+
+echo "==> BENCH_faults.json:"
+cat BENCH_faults.json

@@ -46,4 +46,14 @@ go run ./cmd/obssmoke
 echo "==> go test -run=NONE -bench=BenchmarkE27 ."
 go test -run=NONE -bench=BenchmarkE27 .
 
+# Chaos gate: the E28 fault matrix re-run under the race detector (it
+# already ran once inside `go test -race ./...` above; the explicit -v
+# run makes the per-scenario recovery table visible in CI logs), then
+# the fault-recovery latency benchmark writing BENCH_faults.json.
+echo "==> go test -race -run 'TestAllExperimentsPassShapeChecks/E28' -v ./internal/experiments/"
+go test -race -run 'TestAllExperimentsPassShapeChecks/E28' -v ./internal/experiments/
+
+echo "==> scripts/bench_faults.sh"
+./scripts/bench_faults.sh
+
 echo "==> all checks passed"

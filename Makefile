@@ -37,6 +37,14 @@ chaos:
 	go test -race -run 'TestAllExperimentsPassShapeChecks/E28' -v ./internal/experiments/
 	./scripts/bench_faults.sh
 
+# Pipelining gate: the multiplexed-client stress + Close-drain tests
+# under the race detector, plus the E29 throughput/cache benchmark
+# (scripts/bench_pipeline.sh writes BENCH_pipeline.json).
+.PHONY: pipeline
+pipeline:
+	go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/
+	./scripts/bench_pipeline.sh
+
 # Observability checks alone: obs tests, the traced-RPC smoke scrape,
 # and the transport latency baseline (writes BENCH_obs.json).
 .PHONY: obs

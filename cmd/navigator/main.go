@@ -46,13 +46,28 @@ import (
 	"mits"
 	"mits/internal/media"
 	"mits/internal/mediastore"
+	"mits/internal/obs"
 	"mits/internal/school"
 	"mits/internal/transport"
 )
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7121", "mitsd address")
+	statsAddr := flag.String("stats", "", "HTTP stats listen address (empty disables the endpoint)")
 	flag.Parse()
+
+	// The content cache (and the client-side transport counters) live
+	// in this process, so the navigator exposes its own registry —
+	// scrape cache_hits_total & co. here, not on the server.
+	if *statsAddr != "" {
+		stats, err := obs.ServeStats(*statsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats listen on %s: %v\n", *statsAddr, err)
+			os.Exit(1)
+		}
+		defer stats.Close() //mits:allow errdrop best-effort close on exit
+		fmt.Printf("stats endpoint up at http://%s/stats\n", stats.Addr)
+	}
 
 	dbConn, err := transport.DialTCP(*server)
 	if err != nil {

@@ -110,6 +110,60 @@ func (s *Server) loop() {
 // Close stops the loop by closing what it blocks on.
 func (s *Server) Close() error { return s.c.Close() }
 
+// MuxClient is the multiplexed-client ownership pattern of the
+// pipelined transport: a writer goroutine selecting on a send queue
+// and a quit channel, and a reader goroutine polling the quit channel
+// between blocking reads on a closable conn. Close owns both stop
+// paths (close(quit) + conn.Close), so neither loop is a leak.
+type MuxClient struct {
+	c     conn
+	sendq chan int
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Start launches the writer/reader pair.
+func (m *MuxClient) Start() {
+	m.wg.Add(2)
+	go m.writeLoop()
+	go m.readLoop()
+}
+
+func (m *MuxClient) writeLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.sendq:
+			work()
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+func (m *MuxClient) readLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		default:
+		}
+		if _, err := m.c.Read(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops both loops: quit unparks the writer, the conn close
+// fails the reader's blocking Read.
+func (m *MuxClient) Close() error {
+	close(m.quit)
+	err := m.c.Close()
+	m.wg.Wait()
+	return err
+}
+
 // Allowed documents a deliberate process-lifetime goroutine.
 func Allowed() {
 	go func() { //mits:allow goleak process-lifetime metrics pump

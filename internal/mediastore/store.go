@@ -209,6 +209,13 @@ func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) 
 }
 
 // GetContent retrieves content data by reference.
+//
+// Aliasing audit (the record sits behind the navigator content cache,
+// where a shared byte slice would let one caller corrupt what every
+// other caller reads): the returned record is a deep copy — Data and
+// Keywords are cloned, never views of the store's internal slices. The
+// transport layer's cache applies the same copy-on-read on its side;
+// TestGetContentDataIsPrivateCopy pins this end.
 func (s *Store) GetContent(ref string) (*ContentRecord, error) {
 	start := time.Now()
 	defer func() { s.obsGetContent.Observe(time.Since(start)) }()
@@ -225,6 +232,7 @@ func (s *Store) GetContent(ref string) (*ContentRecord, error) {
 	s.bytesOut += int64(len(rec.Data))
 	cp := *rec
 	cp.Data = append([]byte(nil), rec.Data...)
+	cp.Keywords = append([]string(nil), rec.Keywords...)
 	return &cp, nil
 }
 

@@ -305,3 +305,31 @@ func TestSaveLoadProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGetContentDataIsPrivateCopy is the aliasing regression test for
+// the content cache era: mutating what GetContent returned must never
+// reach the store's internal record, or a cached read could corrupt
+// every later reader.
+func TestGetContentDataIsPrivateCopy(t *testing.T) {
+	s := New()
+	if err := s.PutContent("store/v.mpg", "mpeg", []byte{1, 2, 3}, "video"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.GetContent("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Data[0] = 99
+	rec.Keywords[0] = "tampered"
+
+	again, err := s.GetContent("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Data, []byte{1, 2, 3}) {
+		t.Fatalf("caller mutation reached the store: %v", again.Data)
+	}
+	if again.Keywords[0] != "video" {
+		t.Fatalf("caller mutation reached stored keywords: %v", again.Keywords)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mits/internal/cache"
 	"mits/internal/media"
 	"mits/internal/mediastore"
 	"mits/internal/mheg"
@@ -70,6 +71,12 @@ type Options struct {
 	School transport.Client
 	// Capabilities defaults to DefaultCapabilities().
 	Capabilities *Capabilities
+	// ContentCache, when non-nil, serves the playback path's repeated
+	// content fetches (scene replays, shared stills, the engine's
+	// resolver) from local memory with singleflight dedup. Left nil by
+	// the experiments so store read counts stay exact; the deployment
+	// entry points (NewRemoteNavigator, cmd/navigator) attach one.
+	ContentCache *cache.Cache
 }
 
 // New builds a navigator.
@@ -79,7 +86,7 @@ func New(opts Options) *Navigator {
 	}
 	n := &Navigator{
 		clock:      opts.Clock,
-		db:         transport.DBClient{C: opts.DB},
+		db:         transport.DBClient{C: opts.DB, ContentCache: opts.ContentCache},
 		school:     school.Client{C: opts.School},
 		sceneRoots: make(map[string]mheg.ID),
 		caps:       DefaultCapabilities(),

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"mits/internal/cache"
 	"mits/internal/mediastore"
 )
 
@@ -133,6 +134,23 @@ func DecodeContentRecord(data []byte) (*mediastore.ContentRecord, error) {
 // synchronous carrier (TCP or loopback).
 type DBClient struct {
 	C Client
+
+	// ContentCache, when non-nil, serves repeated GetContent /
+	// FetchContent calls from local memory instead of the wire: a
+	// size-bounded LRU with singleflight, so a stampede of scene
+	// activations fetching the same MPEG object issues one upstream
+	// RPC. Hits and misses both return a private copy of the record
+	// (copy-on-read) — callers may mutate what they get without
+	// corrupting the shared cache. Nil means every call goes upstream
+	// (the experiments keep it nil so store read counts stay exact).
+	ContentCache *cache.Cache
+}
+
+// WithContentCache returns a copy of the client that serves content
+// through c.
+func (d DBClient) WithContentCache(c *cache.Cache) DBClient {
+	d.ContentCache = c
+	return d
 }
 
 // GetListDoc returns the stored document names.
@@ -183,8 +201,28 @@ func (d DBClient) GetDocByKeyword(keyword string) ([]string, error) {
 	return names, gobDecode(payload, &names)
 }
 
-// GetContent fetches a content object's data by reference.
+// GetContent fetches a content object's data by reference, consulting
+// the content cache when one is attached. The returned record is
+// always the caller's own copy when it came through the cache.
 func (d DBClient) GetContent(ref string) (*mediastore.ContentRecord, error) {
+	if d.ContentCache == nil {
+		return d.fetchContent(ref)
+	}
+	v, err := d.ContentCache.GetOrFill(ref, func() (any, int64, error) {
+		rec, err := d.fetchContent(ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rec, int64(len(rec.Data)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cloneContentRecord(v.(*mediastore.ContentRecord)), nil
+}
+
+// fetchContent is the uncached upstream path.
+func (d DBClient) fetchContent(ref string) (*mediastore.ContentRecord, error) {
 	req, err := gobEncode(getContentReq{Ref: ref})
 	if err != nil {
 		return nil, err
@@ -195,6 +233,15 @@ func (d DBClient) GetContent(ref string) (*mediastore.ContentRecord, error) {
 	}
 	var rec mediastore.ContentRecord
 	return &rec, gobDecode(payload, &rec)
+}
+
+// cloneContentRecord is the cache's copy-on-read: the cached record's
+// slices are shared by every hit, so each caller gets private copies.
+func cloneContentRecord(rec *mediastore.ContentRecord) *mediastore.ContentRecord {
+	cp := *rec
+	cp.Data = append([]byte(nil), rec.Data...)
+	cp.Keywords = append([]string(nil), rec.Keywords...)
+	return &cp
 }
 
 // PutDocument publishes a courseware document (author site).
@@ -243,4 +290,16 @@ func NewResilientDBClient(peer string, dial Dialer, policy RetryPolicy, threshol
 	br := NewBreaker(peer, threshold, cooldown)
 	rc := NewRetryClient(dial, policy, seed)
 	return DBClient{C: WithBreaker(rc, br)}, br
+}
+
+// NewCachedResilientDBClient is NewResilientDBClient with a content
+// cache of cacheBytes in front — the full deployment stack of a
+// navigator site (cache over breaker over retry over redial). The
+// cache composes cleanly with the resilience layer because it sits
+// above it: a hit never touches the breaker, a miss takes the whole
+// hardened path, and fill errors are not cached so recovery is
+// immediate.
+func NewCachedResilientDBClient(peer string, dial Dialer, policy RetryPolicy, threshold int, cooldown time.Duration, seed uint64, cacheBytes int64) (DBClient, *Breaker) {
+	d, br := NewResilientDBClient(peer, dial, policy, threshold, cooldown, seed)
+	return d.WithContentCache(cache.New("content:"+peer, cacheBytes)), br
 }

@@ -23,10 +23,16 @@ const MaxFrame = 16 << 20
 // frameKind distinguishes requests from responses on a duplex carrier,
 // and doubles as the header version: the v1 kinds carry no trace
 // fields, the v2 kinds insert a 16-byte trace context (trace ID + span
-// ID) between the frame id and the name. Decoders accept both, so
-// pre-upgrade peers and persisted frames keep working; encoders emit
-// v2 exactly when a trace is attached, which keeps untraced wire
-// bytes identical to the v1 format.
+// ID) between the frame id and the name, and the v3 kinds insert an
+// 8-byte request-correlation ID followed by the 16-byte trace context
+// (zero trace = untraced). The correlation ID is what lets one
+// connection carry many in-flight calls: the multiplexed client keys
+// its pending-call map on it and the server echoes it, so responses
+// may complete out of order. Decoders accept all three, so pre-upgrade
+// peers and persisted frames keep working; encoders emit v3 exactly
+// when a correlation ID is attached and v2 exactly when only a trace
+// is, which keeps untraced uncorrelated wire bytes identical to the
+// v1 format.
 type frameKind byte
 
 const (
@@ -34,41 +40,69 @@ const (
 	kindResponse
 	kindRequestV2
 	kindResponseV2
+	kindRequestV3
+	kindResponseV3
 )
 
 // frame is the wire unit: id pairs responses to requests, method names
 // the operation (requests) and errText carries failure (responses).
-// trace/span carry the obs trace context (zero = untraced).
+// trace/span carry the obs trace context (zero = untraced); corr is
+// the v3 request-correlation ID (zero = uncorrelated, i.e. the peer
+// runs one call at a time).
 type frame struct {
 	kind    frameKind
 	id      uint64
+	corr    uint64
 	trace   uint64
 	span    uint64
 	method  string // requests
 	errText string // responses
 	payload []byte
+
+	// buf, when non-nil, is the pooled backing buffer this frame was
+	// decoded from; release returns it for reuse. Only the server's
+	// request path sets it — response payloads handed to Call's caller
+	// are caller-owned and never recycled.
+	buf []byte
 }
 
-// marshal encodes the frame body (without the outer length prefix TCP
-// adds).
-func (f *frame) marshal() []byte {
+// wireSize reports the marshalled body length, so writers can size a
+// pooled buffer before encoding.
+func (f *frame) wireSize() int {
 	name := f.method
 	if f.kind == kindResponse {
 		name = f.errText
 	}
-	traced := f.trace != 0
 	size := 1 + 8 + 4 + len(name) + 4 + len(f.payload)
-	if traced {
+	switch {
+	case f.corr != 0:
+		size += 8 + 16 // correlation ID + trace context, always present in v3
+	case f.trace != 0:
 		size += 16
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// appendTo encodes the frame body (without the outer length prefix TCP
+// adds) onto buf, returning the extended slice.
+func (f *frame) appendTo(buf []byte) []byte {
+	name := f.method
+	if f.kind == kindResponse {
+		name = f.errText
+	}
 	kind := f.kind
-	if traced {
+	switch {
+	case f.corr != 0:
+		kind += kindRequestV3 - kindRequest
+	case f.trace != 0:
 		kind += kindRequestV2 - kindRequest
 	}
 	buf = append(buf, byte(kind))
 	buf = binary.BigEndian.AppendUint64(buf, f.id)
-	if traced {
+	if f.corr != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, f.corr)
+	}
+	if f.corr != 0 || f.trace != 0 {
 		buf = binary.BigEndian.AppendUint64(buf, f.trace)
 		buf = binary.BigEndian.AppendUint64(buf, f.span)
 	}
@@ -77,6 +111,13 @@ func (f *frame) marshal() []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.payload)))
 	buf = append(buf, f.payload...)
 	return buf
+}
+
+// marshal encodes the frame body into a fresh allocation (the ATM
+// carrier and tests; the TCP path encodes into pooled buffers via
+// wireSize/appendTo).
+func (f *frame) marshal() []byte {
+	return f.appendTo(make([]byte, 0, f.wireSize()))
 }
 
 // ErrBadFrame marks a wire frame that failed to decode — a corrupted
@@ -104,6 +145,15 @@ func unmarshalFrame(data []byte) (*frame, error) {
 		f.span = binary.BigEndian.Uint64(data[off+8:])
 		f.kind -= kindRequestV2 - kindRequest
 		off += 16
+	case kindRequestV3, kindResponseV3:
+		if len(data) < 1+8+8+16+4 {
+			return nil, errBadFrame
+		}
+		f.corr = binary.BigEndian.Uint64(data[off:])
+		f.trace = binary.BigEndian.Uint64(data[off+8:])
+		f.span = binary.BigEndian.Uint64(data[off+16:])
+		f.kind -= kindRequestV3 - kindRequest
+		off += 24
 	default:
 		return nil, fmt.Errorf("%w: kind %d", errBadFrame, f.kind)
 	}
@@ -130,7 +180,12 @@ func unmarshalFrame(data []byte) (*frame, error) {
 	return f, nil
 }
 
-// Handler processes one request and returns the response payload.
+// Handler processes one request and returns the response payload. The
+// request payload is only valid until Handle returns (the TCP server
+// recycles its backing buffer afterwards); a handler that needs the
+// bytes later must copy them. Returning the payload itself (or a slice
+// of it) as the response is fine — the buffer is released only after
+// the response is written.
 type Handler interface {
 	Handle(method string, payload []byte) ([]byte, error)
 }

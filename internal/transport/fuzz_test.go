@@ -5,10 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzFrameDecode throws arbitrary bytes at the frame decoder. Both
-// header versions are seeded: v1 (untraced) and v2 (16-byte trace
-// context between the id and the name). Anything that decodes must
-// survive a marshal/unmarshal round trip unchanged.
+// FuzzFrameDecode throws arbitrary bytes at the frame decoder. All
+// three header versions are seeded: v1 (untraced), v2 (16-byte trace
+// context between the id and the name) and v3 (8-byte correlation ID
+// then the trace context). Anything that decodes must survive a
+// marshal/unmarshal round trip unchanged.
 func FuzzFrameDecode(f *testing.F) {
 	for _, fr := range []*frame{
 		{kind: kindRequest, id: 1, method: "GetDoc", payload: []byte("atm-course")},
@@ -16,11 +17,16 @@ func FuzzFrameDecode(f *testing.F) {
 		{kind: kindResponse, id: 7, errText: "transport: unknown method"},
 		{kind: kindRequest, id: 9, trace: 0xdeadbeef, span: 0x42, method: "Search", payload: []byte("broadband")},
 		{kind: kindResponse, id: 9, trace: 0xdeadbeef, span: 0x43},
+		{kind: kindRequest, id: 11, corr: 11, method: "db.GetContent", payload: []byte("store/v.mpg")},
+		{kind: kindRequest, id: 12, corr: 12, trace: 0xfeed, span: 0x7, method: "db.GetContent"},
+		{kind: kindResponse, id: 12, corr: 12, trace: 0xfeed, span: 0x7, payload: []byte{9}},
+		{kind: kindResponse, id: 13, corr: 13, errText: "transport: unknown method"},
 	} {
 		f.Add(fr.marshal())
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(kindRequestV2), 0, 0, 0})
+	f.Add([]byte{byte(kindRequestV3), 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := unmarshalFrame(data)
 		if err != nil {
@@ -38,6 +44,11 @@ func FuzzFrameDecode(f *testing.F) {
 		// free to drop it, so only compare when the frame is traced.
 		if fr.trace != 0 && (fr2.trace != fr.trace || fr2.span != fr.span) {
 			t.Fatalf("round trip dropped trace context:\n%+v\n%+v", fr, fr2)
+		}
+		// Likewise a zero correlation ID means uncorrelated; compare
+		// only when the frame carried one.
+		if fr.corr != 0 && fr2.corr != fr.corr {
+			t.Fatalf("round trip dropped correlation ID:\n%+v\n%+v", fr, fr2)
 		}
 	})
 }

@@ -1,0 +1,533 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mits/internal/faults"
+	"mits/internal/lint/leaktest"
+	"mits/internal/obs"
+)
+
+// --- frame v3 unit coverage (mirrors the v2 regression suite) ---
+
+// TestFrameV3RoundTrip checks the correlation ID (and the trace context
+// riding behind it) survives the v3 encoding in both kinds.
+func TestFrameV3RoundTrip(t *testing.T) {
+	for _, kind := range []frameKind{kindRequest, kindResponse} {
+		f := &frame{kind: kind, id: 9, corr: 77, trace: 0xdeadbeefcafe, span: 42, payload: []byte{1, 2, 3}}
+		if kind == kindRequest {
+			f.method = "db.GetContent"
+		} else {
+			f.errText = "boom"
+		}
+		got, err := unmarshalFrame(f.marshal())
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if got.kind != kind || got.corr != 77 || got.trace != f.trace || got.span != f.span || got.id != 9 {
+			t.Fatalf("kind %d round trip mangled: %+v", kind, got)
+		}
+	}
+}
+
+// TestFrameV3UntracedRoundTrip pins that a correlated-but-untraced
+// frame keeps its correlation ID (the trace context encodes as zeros).
+func TestFrameV3UntracedRoundTrip(t *testing.T) {
+	f := &frame{kind: kindRequest, id: 5, corr: 5, method: "m"}
+	got, err := unmarshalFrame(f.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.corr != 5 || got.trace != 0 || got.span != 0 {
+		t.Fatalf("untraced v3 mangled: %+v", got)
+	}
+}
+
+// TestFrameV3Truncated makes sure a v3 kind with a short body errors
+// instead of reading out of bounds.
+func TestFrameV3Truncated(t *testing.T) {
+	f := &frame{kind: kindRequest, id: 1, corr: 2, trace: 5, span: 6, method: "m"}
+	raw := f.marshal()
+	for n := 1; n < 1+8+8+16+4; n++ {
+		if _, err := unmarshalFrame(raw[:n]); err == nil {
+			t.Fatalf("truncated v3 frame of %d bytes decoded", n)
+		}
+	}
+}
+
+// --- pipelining behaviour over real TCP ---
+
+// pipelineServer starts an echo-style server whose "block" method
+// parks until release is closed, for tests that need calls held in
+// flight deterministically.
+func pipelineServer(t *testing.T, release chan struct{}, inFlight *atomic.Int64) (*TCPServer, string) {
+	t.Helper()
+	mux := NewMux()
+	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	mux.Register("block", func(_ string, p []byte) ([]byte, error) {
+		if inFlight != nil {
+			inFlight.Add(1)
+		}
+		<-release
+		return p, nil
+	})
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr
+}
+
+// TestPipelinedOutOfOrderCompletion is the tentpole's acceptance
+// shape: with one call parked in the server, later calls on the same
+// connection still complete — responses are matched by correlation ID,
+// not arrival order.
+func TestPipelinedOutOfOrderCompletion(t *testing.T) {
+	leaktest.Check(t)
+	release := make(chan struct{})
+	var parked atomic.Int64
+	srv, addr := pipelineServer(t, release, &parked)
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := cli.Call("block", []byte("held"))
+		blocked <- err
+	}()
+	waitFor(t, func() bool { return parked.Load() == 1 })
+
+	// Neighbours must complete while "block" is still in flight.
+	for i := 0; i < 8; i++ {
+		out, err := cli.Call("echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("echo %d behind a blocked call: %v", i, err)
+		}
+		if len(out) != 1 || out[0] != byte(i) {
+			t.Fatalf("echo %d returned %v", i, out)
+		}
+	}
+	select {
+	case err := <-blocked:
+		t.Fatalf("blocked call completed early: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocked call failed after release: %v", err)
+	}
+}
+
+// TestUnknownCorrelationResponse hand-speaks the server side of the
+// protocol: a response bearing a correlation ID nobody is waiting for
+// must be counted and dropped, and the connection must stay usable for
+// the real response behind it.
+func TestUnknownCorrelationResponse(t *testing.T) {
+	leaktest.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		req, err := readFrame(conn, false)
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		// First a response for a correlation ID that was never issued…
+		bogus := &frame{kind: kindResponse, id: 9999, corr: 9999, payload: []byte("ghost")}
+		if err := writeFrame(conn, bogus); err != nil {
+			srvErr <- err
+			return
+		}
+		// …then the real one.
+		real := &frame{kind: kindResponse, id: req.id, corr: req.corr, payload: req.payload}
+		srvErr <- writeFrame(conn, real)
+	}()
+
+	before := obsUnknownCorr.Value()
+	cli := mustDial(t, ln.Addr().String())
+	defer cli.Close()
+	out, err := cli.Call("echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("call after bogus response: %v", err)
+	}
+	if string(out) != "hi" {
+		t.Fatalf("payload %q", out)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("scripted server: %v", err)
+	}
+	if got := obsUnknownCorr.Value() - before; got != 1 {
+		t.Fatalf("unknown-corr counter moved by %d, want 1", got)
+	}
+}
+
+// TestPreUpgradePeerResponseMatchesByID covers the compatibility path:
+// a pre-v3 peer echoes only the frame id (no correlation field), and
+// the client must still match the response.
+func TestPreUpgradePeerResponseMatchesByID(t *testing.T) {
+	leaktest.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		req, err := readFrame(conn, false)
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		// A v1 response: same id, no correlation ID, no trace.
+		srvErr <- writeFrame(conn, &frame{kind: kindResponse, id: req.id, payload: req.payload})
+	}()
+	cli := mustDial(t, ln.Addr().String())
+	defer cli.Close()
+	out, err := cli.Call("echo", []byte("v1"))
+	if err != nil {
+		t.Fatalf("call against v1-style peer: %v", err)
+	}
+	if string(out) != "v1" {
+		t.Fatalf("payload %q", out)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("scripted server: %v", err)
+	}
+}
+
+// TestConnDeathFailsAllInFlight parks 10 calls in the server, severs
+// the connection, and requires every one of them to fail with the
+// typed ErrPeerClosed — the pending-call map drains exactly once.
+func TestConnDeathFailsAllInFlight(t *testing.T) {
+	leaktest.Check(t)
+	release := make(chan struct{})
+	var parked atomic.Int64
+	srv, addr := pipelineServer(t, release, &parked)
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const calls = 10
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() {
+			_, err := cli.Call("block", nil)
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return parked.Load() == calls })
+
+	// Close severs the connections first (failing the client's pending
+	// map immediately), then drains serving goroutines — which are
+	// still parked in the handler, so run it aside and unpark them only
+	// after every call has reported its typed failure.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	for i := 0; i < calls; i++ {
+		err := <-errs
+		if !errors.Is(err, ErrPeerClosed) {
+			t.Fatalf("in-flight call %d: got %v, want ErrPeerClosed", i, err)
+		}
+		var ce *CallError
+		if !errors.As(err, &ce) || ce.Method != "block" {
+			t.Fatalf("in-flight call %d: not a typed CallError: %v", i, err)
+		}
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+}
+
+// TestInjectedStallDoesNotBlockNeighbors drives the fault injector's
+// RPC hook against one method while neighbours run clean: the stalled
+// call must be the only slow one. (A conn-level read stall would park
+// the shared reader goroutine — head-of-line by construction — so
+// per-call stalls are injected where they land in production: in the
+// handler.)
+func TestInjectedStallDoesNotBlockNeighbors(t *testing.T) {
+	leaktest.Check(t)
+	const stallFor = 300 * time.Millisecond
+	inj := faults.NewInjector(faults.Scenario{Name: "stall-one", Latency: stallFor}, 1)
+	mux := NewMux()
+	mux.Register("echo", func(_ string, p []byte) ([]byte, error) { return p, nil })
+	mux.Register("slow", func(_ string, p []byte) ([]byte, error) {
+		delay, drop, err := inj.RPC("slow")
+		if err != nil || drop {
+			return nil, fmt.Errorf("unexpected injector verdict: drop=%v err=%v", drop, err)
+		}
+		time.Sleep(delay) //mits:allow sleepless injected per-call stall under test
+		return p, nil
+	})
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	slowDone := make(chan time.Duration, 1)
+	go func() {
+		if _, err := cli.Call("slow", nil); err != nil {
+			t.Errorf("stalled call failed: %v", err)
+		}
+		slowDone <- time.Since(start)
+	}()
+	var wg sync.WaitGroup
+	var fastMax atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cli.Call("echo", nil); err != nil {
+				t.Errorf("neighbour failed: %v", err)
+			}
+			for {
+				d := int64(time.Since(start))
+				prev := fastMax.Load()
+				if d <= prev || fastMax.CompareAndSwap(prev, d) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	slow := <-slowDone
+	if slow < stallFor {
+		t.Fatalf("stalled call finished in %v, before the %v stall", slow, stallFor)
+	}
+	if fast := time.Duration(fastMax.Load()); fast >= stallFor {
+		t.Fatalf("neighbours took %v — convoyed behind the %v stall", fast, stallFor)
+	}
+}
+
+// TestCallTimeoutKeepsConnection checks the per-call deadline story:
+// a timed-out call abandons its pending entry, the late response is
+// dropped by correlation ID, and the same connection keeps serving.
+func TestCallTimeoutKeepsConnection(t *testing.T) {
+	leaktest.Check(t)
+	release := make(chan struct{})
+	var parked atomic.Int64
+	srv, addr := pipelineServer(t, release, &parked)
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Timeout = 50 * time.Millisecond
+
+	_, err = cli.Call("block", nil)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("got %v, want ErrCallTimeout", err)
+	}
+	before := obsUnknownCorr.Value()
+	close(release) // the late response arrives now, for a call nobody waits on
+	waitFor(t, func() bool { return obsUnknownCorr.Value() > before })
+
+	out, err := cli.Call("echo", []byte("still alive"))
+	if err != nil {
+		t.Fatalf("connection unusable after a timeout: %v", err)
+	}
+	if string(out) != "still alive" {
+		t.Fatalf("payload %q", out)
+	}
+}
+
+// TestCallTracedPerCall is the LastTrace fix: under concurrency every
+// call reports its own trace ID, all distinct, each with a server span
+// joined to it.
+func TestCallTracedPerCall(t *testing.T) {
+	leaktest.Check(t)
+	srv, addr := pipelineServer(t, nil, nil)
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const calls = 16
+	traces := make([]obs.TraceID, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, trace, err := cli.CallTraced("echo", []byte{byte(i)})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+			traces[i] = trace
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[obs.TraceID]bool, calls)
+	for i, tr := range traces {
+		if tr == 0 {
+			t.Fatalf("call %d reported zero trace", i)
+		}
+		if seen[tr] {
+			t.Fatalf("trace %s reported by two calls", tr)
+		}
+		seen[tr] = true
+		foundServer := false
+		for _, s := range obs.Default.SpansOf(tr) {
+			if s.Kind == "server" {
+				foundServer = true
+			}
+		}
+		if !foundServer {
+			t.Fatalf("trace %s has no server span", tr)
+		}
+	}
+}
+
+// TestPipelineStress64 is the -race stress gate: 64 goroutines hammer
+// one client; every response must round-trip its own payload (no
+// cross-delivery between correlation IDs).
+func TestPipelineStress64(t *testing.T) {
+	leaktest.Check(t)
+	srv, addr := pipelineServer(t, nil, nil)
+	defer srv.Close()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const (
+		callers = 64
+		each    = 40
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				want := fmt.Sprintf("g%d-i%d", g, i)
+				out, err := cli.Call("echo", []byte(want))
+				if err != nil {
+					t.Errorf("caller %d call %d: %v", g, i, err)
+					return
+				}
+				if string(out) != want {
+					t.Errorf("caller %d call %d: got %q want %q — responses crossed", g, i, out, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCloseDrainsPendingExactlyOnce is the Close bugfix test:
+// concurrent Closes racing in-flight calls must drain the pending map
+// once (every call gets exactly one typed completion), never
+// double-close the quit channel (which would panic), and all Closes
+// return the same result.
+func TestCloseDrainsPendingExactlyOnce(t *testing.T) {
+	leaktest.Check(t)
+	release := make(chan struct{})
+	var parked atomic.Int64
+	srv, addr := pipelineServer(t, release, &parked)
+	defer srv.Close()
+	defer close(release)
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const calls = 8
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() {
+			_, err := cli.Call("block", nil)
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return parked.Load() == calls })
+
+	var wg sync.WaitGroup
+	closeErrs := make([]error, 4)
+	for i := range closeErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			closeErrs[i] = cli.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range closeErrs {
+		if err != nil {
+			t.Fatalf("concurrent Close %d: %v", i, err)
+		}
+	}
+	for i := 0; i < calls; i++ {
+		if err := <-errs; !errors.Is(err, ErrPeerClosed) {
+			t.Fatalf("in-flight call %d after Close: got %v, want ErrPeerClosed", i, err)
+		}
+	}
+	// And calls issued after Close fail fast with the same typed error.
+	if _, err := cli.Call("echo", nil); !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("post-Close call: got %v, want ErrPeerClosed", err)
+	}
+}
+
+// mustDial dials or fails the test.
+func mustDial(t *testing.T, addr string) *TCPClient {
+	t.Helper()
+	cli, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli
+}
+
+// waitFor polls cond to true within a bounded window.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond) //mits:allow sleepless test poll
+	}
+}

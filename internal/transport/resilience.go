@@ -204,9 +204,14 @@ func (r *RetryClient) Call(method string, payload []byte) ([]byte, error) {
 		}
 		lastErr = err
 		var remote *RemoteError
-		if !errors.As(err, &remote) {
+		if !errors.As(err, &remote) && !errors.Is(err, ErrCallTimeout) {
 			// Transport-level failure: the connection's framing state
-			// is unknown; discard it so the next attempt redials.
+			// is unknown; discard it so the next attempt redials. A
+			// pure call timeout is exempt: the multiplexed client
+			// matches responses by correlation ID, so a late response
+			// is discarded harmlessly and the connection stays good —
+			// tearing it down would fail every neighbouring in-flight
+			// call for one slow one (per-call, not per-connection).
 			r.discard(cl)
 		}
 		if !p.Retryable(method, err) {

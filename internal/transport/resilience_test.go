@@ -239,7 +239,7 @@ func TestDBClientPeerClosedMidResponse(t *testing.T) {
 	addr := rawServer(t, func(conn net.Conn) {
 		// Read the request, then advertise a response and hang up
 		// halfway through it.
-		readFrame(conn) //nolint:errcheck // scripted peer
+		readFrame(conn, false) //nolint:errcheck // scripted peer
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], 64)
 		conn.Write(hdr[:])           //nolint:errcheck
@@ -263,7 +263,7 @@ func TestDBClientPeerClosedMidResponse(t *testing.T) {
 
 func TestDBClientMalformedStatusFrame(t *testing.T) {
 	addr := rawServer(t, func(conn net.Conn) {
-		req, err := readFrame(conn)
+		req, err := readFrame(conn, false)
 		if err != nil {
 			return
 		}
@@ -293,8 +293,8 @@ func TestDBClientDeadlineExpiry(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	addr := rawServer(t, func(conn net.Conn) {
-		readFrame(conn) //nolint:errcheck // scripted peer
-		<-block         // never respond
+		readFrame(conn, false) //nolint:errcheck // scripted peer
+		<-block                // never respond
 	})
 	cl, err := DialTCP(addr)
 	if err != nil {
@@ -348,7 +348,7 @@ func TestReadFrameStreamsLargeBodies(t *testing.T) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	if _, err := readFrame(conn); err == nil {
+	if _, err := readFrame(conn, false); err == nil {
 		t.Fatal("truncated 15MB frame decoded successfully")
 	}
 	runtime.ReadMemStats(&after)
@@ -373,7 +373,7 @@ func TestReadBodyGrowthPath(t *testing.T) {
 	go func() {
 		writeFrame(a, f) //nolint:errcheck // read side validates
 	}()
-	got, err := readFrame(b)
+	got, err := readFrame(b, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,33 +7,40 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mits/internal/obs"
 )
 
-// Process-wide transport byte counters, cached at init so the
-// per-frame cost is one atomic add (the map lookup happens once).
+// Process-wide transport counters, cached at init so the per-frame
+// cost is one atomic add (the map lookup happens once).
 var (
 	obsBytesTx = obs.GetCounter("transport_bytes_tx_total")
 	obsBytesRx = obs.GetCounter("transport_bytes_rx_total")
+	// obsUnknownCorr counts responses whose correlation ID matched no
+	// pending call — late arrivals for calls that already timed out, or
+	// a confused peer. Nonzero under deadline pressure is normal;
+	// growth without timeouts is a peer bug.
+	obsUnknownCorr = obs.GetCounter("transport_client_unknown_corr_total")
 )
 
-// writeFrame sends one length-prefixed frame.
+// writeFrame sends one length-prefixed frame. The header and body are
+// encoded into a single pooled buffer, so a frame costs one Write call
+// and no per-RPC allocation.
 func writeFrame(w io.Writer, f *frame) error {
-	body := f.marshal()
-	if len(body) > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	size := f.wireSize()
+	if size > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	buf := getBuf(4 + size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(size))
+	buf = f.appendTo(buf)
+	_, err := w.Write(buf)
+	putBuf(buf)
 	if err == nil {
-		obsBytesTx.Add(int64(4 + len(body)))
+		obsBytesTx.Add(int64(4 + size))
 	}
 	return err
 }
@@ -43,8 +50,12 @@ func writeFrame(w io.Writer, f *frame) error {
 // hostile header can't reserve much before any payload arrives.
 const readChunk = 64 << 10
 
-// readFrame receives one length-prefixed frame.
-func readFrame(r io.Reader) (*frame, error) {
+// readFrame receives one length-prefixed frame. With pooled set, the
+// body buffer comes from (and, on decode failure, returns to) the
+// frame pool and the caller must releaseFrame the result when the
+// frame's payload is no longer referenced; without it the buffer is a
+// plain allocation owned by whoever ends up holding the payload.
+func readFrame(r io.Reader, pooled bool) (*frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -53,25 +64,60 @@ func readFrame(r io.Reader) (*frame, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
 	}
-	body, err := readBody(r, int(n))
+	body, err := readBody(r, int(n), pooled)
 	if err != nil {
 		return nil, err
 	}
 	obsBytesRx.Add(int64(4 + len(body)))
-	return unmarshalFrame(body)
+	f, err := unmarshalFrame(body)
+	if err != nil {
+		if pooled {
+			putBuf(body)
+		}
+		return nil, err
+	}
+	if pooled {
+		f.buf = body
+	}
+	return f, nil
+}
+
+// releaseFrame returns a pooled frame's backing buffer for reuse. The
+// frame's payload (and anything aliasing it) must not be touched
+// afterwards. No-op for frames read without pooling.
+func releaseFrame(f *frame) {
+	if f.buf != nil {
+		putBuf(f.buf)
+		f.buf = nil
+		f.payload = nil
+	}
+}
+
+// frameBuf allocates an n-byte body buffer from the pool or the heap.
+func frameBuf(n int, pooled bool) []byte {
+	if pooled {
+		return getBuf(n)[:n]
+	}
+	return make([]byte, n)
 }
 
 // readBody reads exactly n bytes, growing the buffer as data actually
 // arrives: a peer advertising a huge-but-legal length gets at most one
 // readChunk of memory up front, and capacity only doubles after the
-// previously granted bytes have been delivered.
-func readBody(r io.Reader, n int) ([]byte, error) {
+// previously granted bytes have been delivered. Growth intermediates
+// (and the result, on error) go back to the pool when pooled.
+func readBody(r io.Reader, n int, pooled bool) ([]byte, error) {
 	if n <= readChunk {
-		body := make([]byte, n)
-		_, err := io.ReadFull(r, body)
-		return body, err
+		body := frameBuf(n, pooled)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if pooled {
+				putBuf(body)
+			}
+			return nil, err
+		}
+		return body, nil
 	}
-	buf := make([]byte, readChunk)
+	buf := frameBuf(readChunk, pooled)
 	read := 0
 	for read < n {
 		want := n - read
@@ -83,11 +129,17 @@ func readBody(r io.Reader, n int) ([]byte, error) {
 			if grown > n {
 				grown = n
 			}
-			nb := make([]byte, grown)
+			nb := frameBuf(grown, pooled)
 			copy(nb, buf[:read])
+			if pooled {
+				putBuf(buf)
+			}
 			buf = nb
 		}
 		if _, err := io.ReadFull(r, buf[read:read+want]); err != nil {
+			if pooled {
+				putBuf(buf)
+			}
 			return nil, err
 		}
 		read += want
@@ -97,7 +149,10 @@ func readBody(r io.Reader, n int) ([]byte, error) {
 
 // TCPServer serves a Handler over TCP — the content server process of
 // Fig 3.5, "distributed applications ... consist of a number of
-// independent programs running on remote hosts".
+// independent programs running on remote hosts". Requests on one
+// connection are handled concurrently (bounded by MaxInFlight) and
+// responses are matched to requests by correlation ID, so they may
+// complete out of order behind a pipelined client.
 type TCPServer struct {
 	handler Handler
 
@@ -107,6 +162,12 @@ type TCPServer struct {
 	// an idle timeout between requests. Set before Listen/Serve.
 	ConnTimeout time.Duration
 
+	// MaxInFlight bounds how many requests one connection may have in
+	// handlers simultaneously; beyond it the connection's read loop
+	// stops admitting work (natural backpressure on the pipelining
+	// client). 0 means DefaultMaxInFlight. Set before Listen/Serve.
+	MaxInFlight int
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -114,6 +175,12 @@ type TCPServer struct {
 	closeErr error // first Close's listener error, returned by later calls
 	wg       sync.WaitGroup
 }
+
+// DefaultMaxInFlight is the per-connection concurrent-request bound
+// when TCPServer.MaxInFlight is unset: enough to keep every core of a
+// content server busy under one navigator's pipeline, small enough
+// that a misbehaving client cannot fork-bomb the server.
+const DefaultMaxInFlight = 32
 
 // NewTCPServer wraps a handler.
 func NewTCPServer(h Handler) *TCPServer {
@@ -204,6 +271,10 @@ func (s *TCPServer) acceptLoop(l net.Listener) {
 	}
 }
 
+// serveConn is one connection's read loop: it decodes requests in
+// arrival order and hands each to a bounded worker goroutine, so a
+// slow query (a big GetContent) does not convoy the fast ones queued
+// behind it on the same connection.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -212,44 +283,72 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	var handlers sync.WaitGroup
+	defer handlers.Wait() // all workers done before the conn is torn down
+	maxInFlight := s.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	sem := make(chan struct{}, maxInFlight)
+	var writeMu sync.Mutex // serializes response frames onto the conn
 	for {
 		if s.ConnTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.ConnTimeout))
 		}
-		req, err := readFrame(conn)
+		req, err := readFrame(conn, true)
 		if err != nil {
 			return
 		}
 		if req.kind != kindRequest {
+			releaseFrame(req)
 			return
 		}
-		// Server span: joins the trace the client stamped into the
-		// frame header (nil span when the request is untraced).
-		var sp *obs.Span
-		if req.trace != 0 {
-			sp = obs.ContinueSpan(req.method, "server", obs.TraceID(req.trace), obs.SpanID(req.span))
-		}
-		start := time.Now()
-		payload, herr := s.handler.Handle(req.method, req.payload)
-		obs.Observe("transport_server_latency_ns", time.Since(start), "method", req.method)
-		obs.GetCounter("transport_server_rpcs_total", "method", req.method).Inc()
-		if herr != nil {
-			obs.GetCounter("transport_server_errors_total", "method", req.method).Inc()
-		}
-		sp.End(herr)
-		// Echo the trace context so the client side can correlate the
-		// response it is blocked on.
-		resp := &frame{kind: kindResponse, id: req.id, trace: req.trace, span: req.span, payload: payload}
-		if herr != nil {
-			resp.errText = herr.Error()
-			resp.payload = nil
-		}
-		if s.ConnTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.ConnTimeout))
-		}
-		if err := writeFrame(conn, resp); err != nil {
-			return
-		}
+		sem <- struct{}{} // backpressure: stop reading at MaxInFlight
+		handlers.Add(1)
+		go func(req *frame) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			s.handleRequest(conn, &writeMu, req)
+		}(req)
+	}
+}
+
+// handleRequest runs the handler for one decoded request and writes
+// its response, echoing the correlation ID (and trace context) so the
+// multiplexed client can match it however late it completes.
+func (s *TCPServer) handleRequest(conn net.Conn, writeMu *sync.Mutex, req *frame) {
+	// Server span: joins the trace the client stamped into the frame
+	// header (nil span when the request is untraced).
+	var sp *obs.Span
+	if req.trace != 0 {
+		sp = obs.ContinueSpan(req.method, "server", obs.TraceID(req.trace), obs.SpanID(req.span))
+	}
+	start := time.Now()
+	payload, herr := s.handler.Handle(req.method, req.payload)
+	obs.Observe("transport_server_latency_ns", time.Since(start), "method", req.method)
+	obs.GetCounter("transport_server_rpcs_total", "method", req.method).Inc()
+	if herr != nil {
+		obs.GetCounter("transport_server_errors_total", "method", req.method).Inc()
+	}
+	sp.End(herr)
+	resp := &frame{kind: kindResponse, id: req.id, corr: req.corr, trace: req.trace, span: req.span, payload: payload}
+	if herr != nil {
+		resp.errText = herr.Error()
+		resp.payload = nil
+	}
+	writeMu.Lock()
+	if s.ConnTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.ConnTimeout))
+	}
+	err := writeFrame(conn, resp)
+	writeMu.Unlock()
+	// The response may alias the request payload (echo-style handlers),
+	// so the request buffer is recycled only after the write.
+	releaseFrame(req)
+	if err != nil {
+		// The read loop cannot observe a worker's write failure; close
+		// the conn so it stops admitting requests nobody can answer.
+		conn.Close()
 	}
 }
 
@@ -274,23 +373,60 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-// TCPClient is the client module embedded in the navigator (§5.3.2). It
-// issues one call at a time per connection, like the thesis's
-// Client() routine.
+// TCPClient is the client module embedded in the navigator (§5.3.2),
+// upgraded from the thesis's one-call-at-a-time Client() routine into a
+// multiplexed, pipelined client: any number of goroutines may Call
+// concurrently over the one connection, each call carrying a
+// correlation ID that a writer goroutine serializes onto the wire and
+// a reader goroutine matches back out of order. The pending-call map
+// is the rendezvous; per-call timers (not connection deadlines) bound
+// each call, so one slow response cannot fail its neighbours.
 type TCPClient struct {
 	// Timeout, when set, is the per-call deadline: a call that has not
 	// completed within it fails with ErrCallTimeout instead of waiting
-	// on a slow or dead peer forever. Set before the first Call.
+	// on a slow or dead peer forever. A timed-out call abandons its
+	// pending entry; the connection stays usable and the late response
+	// is discarded by correlation ID. Set before the first Call.
 	Timeout time.Duration
 
-	mu        sync.Mutex
-	conn      net.Conn
-	nextID    uint64
-	lastTrace obs.TraceID // trace ID of the most recent Call
+	conn  net.Conn
+	sendq chan *pendingCall
+	quit  chan struct{} // closed exactly once by Close
 
-	closeOnce sync.Once
-	closeErr  error
+	mu       sync.Mutex
+	pending  map[uint64]*pendingCall
+	nextCorr uint64
+	closed   bool
+	dead     error // first terminal transport failure; nil while usable
+
+	connOnce sync.Once
+	connErr  error
+
+	lastTrace atomic.Uint64
+
+	wg sync.WaitGroup // writer + reader loops
 }
+
+// pendingCall is one in-flight request parked in the pending map:
+// completion (response, connection failure, or close-drain) sets resp
+// or err and closes done exactly once.
+type pendingCall struct {
+	req    *frame
+	method string
+	trace  obs.TraceID
+	done   chan struct{}
+	resp   *frame
+	err    error
+}
+
+// sendQueueDepth bounds how many encoded-but-unwritten requests can
+// queue ahead of the writer goroutine before callers block.
+const sendQueueDepth = 64
+
+// errClientClosed is the terminal error of a locally-closed client; it
+// wraps ErrPeerClosed so call sites need only one errors.Is check for
+// "the connection is gone, whoever's fault it was".
+var errClientClosed = fmt.Errorf("%w (client closed)", ErrPeerClosed)
 
 // DialTCP connects to a server.
 func DialTCP(addr string) (*TCPClient, error) {
@@ -302,59 +438,251 @@ func DialTCP(addr string) (*TCPClient, error) {
 }
 
 // NewTCPClient wraps an established connection — for example one
-// produced by a fault injector — in a client.
+// produced by a fault injector — in a client, starting its writer and
+// reader goroutines. Close stops them.
 func NewTCPClient(conn net.Conn) *TCPClient {
-	return &TCPClient{conn: conn}
+	c := &TCPClient{
+		conn:    conn,
+		sendq:   make(chan *pendingCall, sendQueueDepth),
+		quit:    make(chan struct{}),
+		pending: make(map[uint64]*pendingCall),
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c
 }
 
-// Call implements Client: send a request, wait for its response. Every
-// call opens a fresh trace whose IDs travel in the frame header, so
-// the server's span lands in the same trace as the client's.
+// Call implements Client: issue a request, wait for its response.
+// Safe for concurrent use; calls pipeline onto the one connection.
 func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
+	out, _, err := c.CallTraced(method, payload)
+	return out, err
+}
+
+// CallTraced is Call returning also the trace ID the call travelled
+// under — the per-call replacement for LastTrace that stays meaningful
+// when many goroutines share the client. Every call opens a fresh
+// trace whose IDs ride the frame header, so the server's span lands in
+// the same trace as the client's.
+func (c *TCPClient) CallTraced(method string, payload []byte) ([]byte, obs.TraceID, error) {
 	sp := obs.StartSpan(method, "client")
-	c.lastTrace = sp.Trace
-	req := &frame{
-		kind: kindRequest, id: c.nextID, method: method, payload: payload,
-		trace: uint64(sp.Trace), span: uint64(sp.ID),
-	}
-	payload, err := c.roundTrip(req)
+	c.lastTrace.Store(uint64(sp.Trace))
+	payload, err := c.issue(sp, method, payload)
 	sp.End(err)
 	obs.Observe("transport_client_latency_ns", sp.Dur, "method", method)
 	obs.GetCounter("transport_client_rpcs_total", "method", method).Inc()
 	if err != nil {
 		obs.GetCounter("transport_client_errors_total", "method", method).Inc()
 	}
-	return payload, err
+	return payload, sp.Trace, err
 }
 
-// roundTrip is the untimed core of Call. Every failure it returns is
-// typed: RemoteError for server-side failures, otherwise a CallError
-// wrapping ErrCallTimeout / ErrPeerClosed / ErrBadFrame — raw io.EOF
-// or net timeouts never leak to callers.
-func (c *TCPClient) roundTrip(req *frame) ([]byte, error) {
-	if c.Timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
-			return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
-		}
-		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset; the next call re-arms it
-	}
-	if err := writeFrame(c.conn, req); err != nil {
-		return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
-	}
-	resp, err := readFrame(c.conn)
+// issue registers the call in the pending map, hands its frame to the
+// writer goroutine, and waits for completion or the per-call deadline.
+// Every failure it returns is typed: RemoteError for server-side
+// failures, otherwise a CallError wrapping ErrCallTimeout /
+// ErrPeerClosed / ErrBadFrame — raw io.EOF or net timeouts never leak.
+func (c *TCPClient) issue(sp *obs.Span, method string, payload []byte) ([]byte, error) {
+	pc := &pendingCall{method: method, trace: sp.Trace, done: make(chan struct{})}
+	corr, err := c.register(pc, method, payload, sp)
 	if err != nil {
-		return nil, &CallError{Method: req.method, Err: classifyIOErr(err)}
+		return nil, &CallError{Method: method, Err: err}
 	}
-	if resp.id != req.id {
-		return nil, &CallError{Method: req.method, Err: fmt.Errorf("%w: response id %d for request %d", ErrBadFrame, resp.id, req.id)}
+	select {
+	case c.sendq <- pc:
+	case <-c.quit:
+		// Close raced the enqueue; its drain fails us (we are already
+		// registered), so fall through to the completion wait.
 	}
-	if resp.errText != "" {
-		return nil, &RemoteError{Method: req.method, Text: resp.errText}
+	var deadline <-chan time.Time
+	if c.Timeout > 0 { //mits:nolock Timeout is set before the first Call and read-only after
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		deadline = t.C
 	}
-	return resp.payload, nil
+	select {
+	case <-pc.done:
+	case <-deadline:
+		if c.abandon(corr) {
+			return nil, &CallError{Method: method, Err: fmt.Errorf("%w (after %v)", ErrCallTimeout, c.Timeout)}
+		}
+		<-pc.done // completion won the race; take its result
+	}
+	if pc.err != nil {
+		var remote *RemoteError
+		if errors.As(pc.err, &remote) {
+			return nil, pc.err
+		}
+		return nil, &CallError{Method: method, Err: pc.err}
+	}
+	return pc.resp.payload, nil
+}
+
+// register allocates the call's correlation ID and parks it in the
+// pending map, failing fast on a closed or dead client.
+func (c *TCPClient) register(pc *pendingCall, method string, payload []byte, sp *obs.Span) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errClientClosed
+	}
+	if c.dead != nil {
+		return 0, c.dead
+	}
+	c.nextCorr++
+	corr := c.nextCorr
+	pc.req = &frame{
+		kind: kindRequest, id: corr, corr: corr, method: method, payload: payload,
+		trace: uint64(sp.Trace), span: uint64(sp.ID),
+	}
+	c.pending[corr] = pc
+	return corr, nil
+}
+
+// abandon removes a timed-out call from the pending map, reporting
+// whether the entry was still there (false means a completion won the
+// race and the caller must take its result instead).
+func (c *TCPClient) abandon(corr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[corr]; !ok {
+		return false
+	}
+	delete(c.pending, corr)
+	return true
+}
+
+// take claims the pending call for a correlation ID, or nil when no
+// call is waiting (timed out, or never ours).
+func (c *TCPClient) take(corr uint64) *pendingCall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc := c.pending[corr]
+	delete(c.pending, corr)
+	return pc
+}
+
+// writeLoop is the writer goroutine: it serializes request frames onto
+// the connection in enqueue order. A write failure is connection-fatal
+// (framing state unknown), failing every pending call.
+func (c *TCPClient) writeLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case pc := <-c.sendq:
+			if c.Timeout > 0 { //mits:nolock Timeout is set before the first Call and read-only after
+				_ = c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+			}
+			if err := writeFrame(c.conn, pc.req); err != nil {
+				c.fail(classifyIOErr(err))
+				return
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// readLoop is the reader-dispatch goroutine: it decodes response
+// frames as they arrive — in whatever order the server completed them
+// — and hands each to its pending call by correlation ID. A read or
+// decode failure is connection-fatal.
+func (c *TCPClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		default:
+		}
+		resp, err := readFrame(c.conn, false)
+		if err != nil {
+			c.fail(classifyIOErr(err))
+			return
+		}
+		if resp.kind != kindResponse {
+			c.fail(fmt.Errorf("%w: unexpected frame kind %d", ErrBadFrame, resp.kind))
+			return
+		}
+		corr := resp.corr
+		if corr == 0 {
+			corr = resp.id // a pre-v3 peer echoes only the frame id
+		}
+		pc := c.take(corr)
+		if pc == nil {
+			// Nobody is waiting: a call that timed out earlier, or a
+			// confused peer. Correlation IDs make late responses
+			// harmless — count and drop, keep the connection.
+			obsUnknownCorr.Inc()
+			continue
+		}
+		if resp.errText != "" {
+			pc.err = &RemoteError{Method: pc.method, Text: resp.errText}
+		} else {
+			pc.resp = resp
+		}
+		close(pc.done)
+	}
+}
+
+// fail marks the client dead with its first terminal error, closes the
+// connection (waking whichever loop is still blocked on it), and fails
+// every pending call. The pending map is drained exactly once per
+// batch: completion happens only via map removal, so fail, take and
+// abandon can never double-complete a call.
+func (c *TCPClient) fail(cause error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = cause
+	}
+	cause = c.dead
+	drained := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	c.mu.Unlock()
+	c.closeConn() //mits:allow errdrop the conn is already failing; Close reports the close error
+	for _, pc := range drained {
+		pc.err = cause
+		close(pc.done)
+	}
+}
+
+// closeConn closes the connection exactly once, remembering the first
+// close's error for Close to return.
+func (c *TCPClient) closeConn() error {
+	c.connOnce.Do(func() {
+		c.connErr = c.conn.Close() //mits:nolock write is published by connOnce.Do
+	})
+	return c.connErr //mits:nolock connOnce.Do orders the write before this read
+}
+
+// LastTrace reports the trace ID of the most recently issued Call —
+// the handle a navigator prints so an operator can find the same
+// request in the server's span exposition. With concurrent callers
+// this is inherently last-writer-wins; use CallTraced to get the trace
+// ID of a specific call.
+func (c *TCPClient) LastTrace() obs.TraceID {
+	return obs.TraceID(c.lastTrace.Load())
+}
+
+// Close implements Client. It is idempotent and safe to call
+// concurrently (and while calls are in flight): the first call closes
+// the quit channel and drains the pending-call map exactly once,
+// failing every in-flight call with a typed error; every call returns
+// the first connection close's error after the writer and reader
+// goroutines have drained.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	first := !c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if first {
+		close(c.quit)
+		c.fail(errClientClosed)
+	}
+	err := c.closeConn()
+	c.wg.Wait()
+	return err
 }
 
 // classifyIOErr maps raw I/O failures onto the typed transport errors.
@@ -374,26 +702,6 @@ func classifyIOErr(err error) error {
 		return fmt.Errorf("%w (%v)", ErrCallTimeout, err)
 	}
 	return err
-}
-
-// LastTrace reports the trace ID of the most recent Call — the handle
-// a navigator prints so an operator can find the same request in the
-// server's span exposition.
-func (c *TCPClient) LastTrace() obs.TraceID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastTrace
-}
-
-// Close implements Client. It deliberately does not take c.mu, so it
-// can interrupt a Call blocked on the network; closing the connection
-// fails the pending read. Close is idempotent: every call returns the
-// first close's error.
-func (c *TCPClient) Close() error {
-	c.closeOnce.Do(func() {
-		c.closeErr = c.conn.Close() //mits:nolock write is published by closeOnce.Do
-	})
-	return c.closeErr //mits:nolock closeOnce.Do orders the write before this read
 }
 
 // RemoteError is a server-side failure surfaced to the client.

@@ -160,14 +160,19 @@ func TestTraceAcrossATM(t *testing.T) {
 	}
 	defer sess.Close()
 
-	before := len(obs.Default.Spans())
 	if _, err := sess.CallOver("echo", []byte("y")); err != nil {
 		t.Fatal(err)
 	}
+	// The registry is a ring buffer that earlier tests may have filled
+	// past its capacity, so index arithmetic from "before the call" is
+	// unreliable; the call just made is simply the newest client span
+	// with our name.
 	var trace obs.TraceID
-	for _, s := range obs.Default.Spans()[before:] {
-		if s.Name == "echo" && s.Kind == "client" {
-			trace = s.Trace
+	spans := obs.Default.Spans()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].Name == "echo" && spans[i].Kind == "client" {
+			trace = spans[i].Trace
+			break
 		}
 	}
 	if trace == 0 {

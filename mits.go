@@ -35,6 +35,7 @@ package mits
 import (
 	"fmt"
 
+	"mits/internal/cache"
 	"mits/internal/courseware"
 	"mits/internal/document"
 	"mits/internal/exercise"
@@ -241,10 +242,22 @@ func (s *System) NewNavigatorOn(clock *sim.Clock) *navigator.Navigator {
 // FormatGrade renders an exercise grade for display.
 var FormatGrade = navigator.FormatGrade
 
+// DefaultContentCacheBytes sizes a remote navigator's content cache:
+// comfortably holds a course's working set of MPEG objects on the
+// thesis-era presentation PC without competing with decode buffers.
+const DefaultContentCacheBytes = 64 << 20
+
 // NewRemoteNavigator opens a navigator over already-dialled transport
-// clients (typically two TCP connections to a mitsd server).
+// clients (typically two TCP connections to a mitsd server). Remote
+// sessions pay a real network round trip per fetch, so they get a
+// content cache by default; in-process sessions (NewNavigator) stay
+// uncached.
 func NewRemoteNavigator(db, sch transport.Client) *navigator.Navigator {
-	return navigator.New(navigator.Options{DB: db, School: sch})
+	return navigator.New(navigator.Options{
+		DB:           db,
+		School:       sch,
+		ContentCache: cache.New("content:navigator", DefaultContentCacheBytes),
+	})
 }
 
 // SampleATMCourse returns the worked example of the paper's Fig 4.4: an

@@ -56,4 +56,15 @@ go test -race -run 'TestAllExperimentsPassShapeChecks/E28' -v ./internal/experim
 echo "==> scripts/bench_faults.sh"
 ./scripts/bench_faults.sh
 
+# Pipelining gate: the 64-caller multiplexed-client stress test under
+# the race detector (it already ran once inside `go test -race ./...`;
+# the explicit run keeps the gate obvious when someone trims the full
+# suite), then the E29 throughput benchmark writing BENCH_pipeline.json
+# (8-caller speedup vs the serialized baseline, cache hit vs miss).
+echo "==> go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/"
+go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/
+
+echo "==> scripts/bench_pipeline.sh"
+./scripts/bench_pipeline.sh
+
 echo "==> all checks passed"

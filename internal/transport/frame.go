@@ -28,11 +28,17 @@ const MaxFrame = 16 << 20
 // (zero trace = untraced). The correlation ID is what lets one
 // connection carry many in-flight calls: the multiplexed client keys
 // its pending-call map on it and the server echoes it, so responses
-// may complete out of order. Decoders accept all three, so pre-upgrade
-// peers and persisted frames keep working; encoders emit v3 exactly
-// when a correlation ID is attached and v2 exactly when only a trace
-// is, which keeps untraced uncorrelated wire bytes identical to the
-// v1 format.
+// may complete out of order. Compatibility is decode-side only:
+// decoders accept all three layouts, so persisted frames keep
+// decoding and a v3 client still matches v1/v2 responses (by frame
+// id) from a server that does not echo correlation IDs. The converse
+// does not hold — the multiplexed client correlates every request and
+// therefore always emits v3, which a pre-v3 decoder rejects as a bad
+// frame; in a rolling upgrade, servers must understand v3 before
+// clients start speaking it. Encoders emit the lowest version that
+// carries the data (v3 exactly when a correlation ID is attached, v2
+// when only a trace is), which keeps untraced uncorrelated wire bytes
+// identical to the v1 format.
 type frameKind byte
 
 const (

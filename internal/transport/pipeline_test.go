@@ -510,6 +510,99 @@ func TestCloseDrainsPendingExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestEnqueueBlockedCallersReleasedOnConnDeath pins the regression
+// where callers blocked enqueueing on a full send queue hung forever
+// when the connection died: fail() completes every registered call,
+// and the enqueue select must honour that completion. No per-call
+// Timeout is set on purpose — the timer is armed only after a
+// successful enqueue, so it cannot be what frees these callers.
+func TestEnqueueBlockedCallersReleasedOnConnDeath(t *testing.T) {
+	leaktest.Check(t)
+	cliConn, srvConn := net.Pipe()
+	c := NewTCPClient(cliConn)
+
+	// More callers than the writer (1 frame in its hands, stalled on
+	// the unread pipe) plus the send queue can absorb, so the overflow
+	// is parked in the enqueue select.
+	const callers = sendQueueDepth + 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Call("stalled", nil)
+			errs <- err
+		}()
+	}
+
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		registered := len(c.pending)
+		c.mu.Unlock()
+		return registered == callers && len(c.sendq) == sendQueueDepth
+	})
+
+	srvConn.Close() // the connection dies under the stalled writer
+
+	released := make(chan struct{})
+	go func() { wg.Wait(); close(released) }()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callers still blocked after connection death")
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; !errors.Is(err, ErrPeerClosed) {
+			t.Fatalf("caller %d: got %v, want ErrPeerClosed", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after failure: %v", err)
+	}
+}
+
+// TestWriteLoopSkipsAbandonedFrames checks that a call that timed out
+// while its frame was still queued behind the writer is never written:
+// the server should not spend a MaxInFlight slot computing a response
+// the client will drop by correlation ID.
+func TestWriteLoopSkipsAbandonedFrames(t *testing.T) {
+	leaktest.Check(t)
+	cliConn, srvConn := net.Pipe()
+	c := NewTCPClient(cliConn)
+	defer srvConn.Close()
+	defer c.Close()
+
+	// Hand the writer a frame whose call has already been abandoned —
+	// the state abandon() leaves behind when the deadline fires with
+	// the frame still in the queue.
+	dead := &pendingCall{req: &frame{kind: kindRequest, id: 999, corr: 999, method: "dead"}, done: make(chan struct{})}
+	dead.abandoned.Store(true)
+	c.sendq <- dead
+
+	live := make(chan error, 1)
+	go func() {
+		_, err := c.Call("live", nil)
+		live <- err
+	}()
+
+	// The first frame to reach the wire must be the live call's: the
+	// abandoned one queued ahead of it was dropped unwritten.
+	f, err := readFrame(srvConn, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.method != "live" {
+		t.Fatalf("first frame on the wire is %q, want the abandoned %q skipped", f.method, "dead")
+	}
+	if err := writeFrame(srvConn, &frame{kind: kindResponse, id: f.id, corr: f.corr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-live; err != nil {
+		t.Fatalf("live call behind a skipped frame failed: %v", err)
+	}
+}
+
 // mustDial dials or fails the test.
 func mustDial(t *testing.T, addr string) *TCPClient {
 	t.Helper()

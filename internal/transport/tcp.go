@@ -385,8 +385,9 @@ type TCPClient struct {
 	// Timeout, when set, is the per-call deadline: a call that has not
 	// completed within it fails with ErrCallTimeout instead of waiting
 	// on a slow or dead peer forever. A timed-out call abandons its
-	// pending entry; the connection stays usable and the late response
-	// is discarded by correlation ID. Set before the first Call.
+	// pending entry; the connection stays usable, a frame still queued
+	// behind the writer is dropped unwritten, and a late response is
+	// discarded by correlation ID. Set before the first Call.
 	Timeout time.Duration
 
 	conn  net.Conn
@@ -417,6 +418,12 @@ type pendingCall struct {
 	done   chan struct{}
 	resp   *frame
 	err    error
+
+	// abandoned is set when the call times out while its frame may
+	// still be queued behind the writer; the writer drops flagged
+	// frames instead of spending wire bytes and a server MaxInFlight
+	// slot on a response nobody will take.
+	abandoned atomic.Bool
 }
 
 // sendQueueDepth bounds how many encoded-but-unwritten requests can
@@ -491,6 +498,13 @@ func (c *TCPClient) issue(sp *obs.Span, method string, payload []byte) ([]byte, 
 	}
 	select {
 	case c.sendq <- pc:
+	case <-pc.done:
+		// The connection died while the send queue was full: fail()
+		// completes every registered call — including this one, parked
+		// here before its frame ever reached the writer. Without this
+		// case the caller would hang forever (the per-call timer is
+		// armed only after a successful enqueue). Fall through to take
+		// the failure from the completion wait.
 	case <-c.quit:
 		// Close raced the enqueue; its drain fails us (we are already
 		// registered), so fall through to the completion wait.
@@ -546,9 +560,11 @@ func (c *TCPClient) register(pc *pendingCall, method string, payload []byte, sp 
 func (c *TCPClient) abandon(corr uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.pending[corr]; !ok {
+	pc, ok := c.pending[corr]
+	if !ok {
 		return false
 	}
+	pc.abandoned.Store(true) // the writer skips the frame if it is still queued
 	delete(c.pending, corr)
 	return true
 }
@@ -571,6 +587,9 @@ func (c *TCPClient) writeLoop() {
 	for {
 		select {
 		case pc := <-c.sendq:
+			if pc.abandoned.Load() {
+				continue // timed out while queued; its response would be dropped anyway
+			}
 			if c.Timeout > 0 { //mits:nolock Timeout is set before the first Call and read-only after
 				_ = c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
 			}
@@ -693,8 +712,8 @@ func classifyIOErr(err error) error {
 	case errors.Is(err, ErrBadFrame):
 		return err // already typed
 	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
-		errors.Is(err, net.ErrClosed), errors.Is(err, syscall.ECONNRESET),
-		errors.Is(err, syscall.EPIPE):
+		errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
 		return fmt.Errorf("%w (%v)", ErrPeerClosed, err)
 	}
 	var ne net.Error

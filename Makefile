@@ -45,6 +45,18 @@ pipeline:
 	go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/
 	./scripts/bench_pipeline.sh
 
+# Race-stress gate: the concurrency-protocol suites that guard the
+# multiplexed hot path — transport pipelining (out-of-order completion,
+# conn-death drain, blocked-enqueue release, abandoned frames) and the
+# cache singleflight — repeated 5× under the race detector so
+# scheduling-dependent interleavings get real coverage, not one lucky
+# pass. chanwait/atomicmix/poolcheck/deadlinecheck prove the protocol
+# shapes statically; this leg hammers the shapes they cannot see.
+.PHONY: racestress
+racestress:
+	go test -race -count=5 -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce|TestEnqueueBlockedCallersReleasedOnConnDeath|TestWriteLoopSkipsAbandonedFrames|TestConnDeathFailsAllInFlight|TestCallTimeoutKeepsConnection' ./internal/transport/
+	go test -race -count=5 -run 'TestSingleflight|TestFillErrorNotCached|TestConcurrentMixedKeys' ./internal/cache/
+
 # Observability checks alone: obs tests, the traced-RPC smoke scrape,
 # and the transport latency baseline (writes BENCH_obs.json).
 .PHONY: obs

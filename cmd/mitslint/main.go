@@ -6,33 +6,49 @@
 //
 // Analyzers (see internal/lint/<name> for the full contract):
 //
-//	lockcheck   unguarded field access on mutex-protected structs
-//	errdrop     discarded errors from transport/mediastore I/O
-//	lifecycle   MHEG form (a)/(b)/(c) object life cycle violations
-//	sleepless   time.Sleep synchronization in non-test code
-//	logcheck    raw log.*/fmt.Print* output in internal packages
-//	goleak      goroutine launches with no reachable stop path
-//	closecheck  closeable values never closed and never escaping
-//	boundscheck unguarded []byte indexing in decode paths
+//	lockcheck     unguarded field access on mutex-protected structs
+//	errdrop       discarded errors from transport/mediastore I/O
+//	lifecycle     MHEG form (a)/(b)/(c) object life cycle violations
+//	sleepless     time.Sleep synchronization in non-test code
+//	logcheck      raw log.*/fmt.Print* output in internal packages
+//	goleak        goroutine launches with no reachable stop path
+//	closecheck    closeable values never closed and never escaping
+//	boundscheck   unguarded []byte indexing in decode paths
+//	chanwait      blocking sends/receives the teardown path cannot wake
+//	atomicmix     fields mixing sync/atomic with plain or mutex access
+//	poolcheck     sync.Pool double-Put, use-after-Put, API escapes
+//	deadlinecheck blocking transport/store calls with no reachable deadline
 //
 // Diagnostics print in a deterministic order (by file, line, column,
 // analyzer) regardless of package load order; -json emits them as a
-// JSON array instead. Exit status is 1 when any diagnostic is
-// reported, 2 on usage or load errors. Type errors in loaded packages
-// are warnings: the analyzers run on what type-checks, and the build
-// gate — not the linter — owns compilation failures. Suppress a
-// finding with //mits:allow <analyzer> (or //mits:nolock) on or above
-// the flagged line.
+// JSON array and -sarif as a SARIF 2.1.0 log instead. Exit status is 1
+// when any unsuppressed diagnostic is reported, 2 on usage or load
+// errors. Type errors in loaded packages are warnings: the analyzers
+// run on what type-checks, and the build gate — not the linter — owns
+// compilation failures.
+//
+// Suppression happens at two levels. In the source, //mits:allow
+// <analyzer> (or //mits:nolock) on or above the flagged line. Out of
+// band, a baseline file (-baseline, default lint.baseline.json when
+// present) lists triaged findings by analyzer/file/message; matching
+// diagnostics are reported as suppressed and do not fail the run.
+// -write-baseline regenerates the file from the current findings.
+// -stats writes per-analyzer wall time and finding counts as JSON to
+// the given path ("-" for stderr).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"mits/internal/lint"
 	"mits/internal/lint/suite"
@@ -42,12 +58,21 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
+	baselinePath := flag.String("baseline", "lint.baseline.json", "baseline file of triaged findings to suppress (missing file = empty baseline)")
+	writeBaseline := flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
+	statsPath := flag.String("stats", "", "write per-analyzer wall time and finding counts as JSON to this path (\"-\" = stderr)")
 	flag.Parse()
+
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "mitslint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := suite.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -80,6 +105,10 @@ func main() {
 	}
 
 	var diags []lint.Diagnostic
+	stats := make(map[string]*analyzerStats, len(analyzers))
+	for _, a := range analyzers {
+		stats[a.Name] = &analyzerStats{Analyzer: a.Name}
+	}
 	analyzed := 0
 	for _, pkg := range pkgs {
 		if !pkg.Root || pkg.Standard || isTestdata(pkg.ImportPath) {
@@ -90,11 +119,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mitslint: warning: %s: type error: %v\n", pkg.ImportPath, te)
 		}
 		for _, a := range analyzers {
+			start := time.Now()
 			ds, err := lint.Run(a, pkg)
+			stats[a.Name].WallMS += float64(time.Since(start).Microseconds()) / 1000
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 				os.Exit(2)
 			}
+			stats[a.Name].Findings += len(ds)
 			diags = append(diags, ds...)
 		}
 	}
@@ -125,9 +157,41 @@ func main() {
 		return a.Message < b.Message
 	})
 
-	if *jsonOut {
+	if *writeBaseline {
+		if err := saveBaseline(*baselinePath, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mitslint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, suppressed, stale := baseline.filter(diags)
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "mitslint: warning: stale baseline entry (nothing matches): %s %s: %s\n", s.Analyzer, s.File, s.Message)
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "mitslint: %d finding(s) suppressed by %s\n", suppressed, *baselinePath)
+	}
+
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, analyzers, stats); err != nil {
+			fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *jsonOut:
 		printJSON(diags)
-	} else {
+	case *sarifOut:
+		printSARIF(analyzers, diags)
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String())
 		}
@@ -136,6 +200,117 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// ---- baseline suppression ----
+
+// baselineEntry identifies one triaged finding. Line numbers are
+// deliberately absent: a baseline should survive unrelated edits to
+// the file, and analyzer+file+message is specific enough in practice.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+type baselineFile struct {
+	// Doc carries the file's purpose for human readers of the JSON.
+	Doc      string          `json:"doc,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &baselineFile{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b baselineFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// filter splits diags into kept and baseline-suppressed, and returns
+// the baseline entries that matched nothing (stale — the finding was
+// fixed, so the entry should be dropped).
+func (b *baselineFile) filter(diags []lint.Diagnostic) (kept []lint.Diagnostic, suppressed int, stale []baselineEntry) {
+	matched := make([]bool, len(b.Findings))
+	for _, d := range diags {
+		hit := false
+		for i, e := range b.Findings {
+			if e.Analyzer == d.Analyzer && e.File == d.Pos.Filename && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for i, e := range b.Findings {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}
+
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	b := baselineFile{
+		Doc: "Triaged mitslint findings suppressed from the gate. Each entry must cite its justification in the PR that added it; remove entries when the finding is fixed (mitslint warns when one goes stale).",
+	}
+	seen := map[baselineEntry]bool{}
+	for _, d := range diags {
+		e := baselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.Findings = append(b.Findings, e)
+	}
+	if b.Findings == nil {
+		b.Findings = []baselineEntry{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ---- per-analyzer stats ----
+
+type analyzerStats struct {
+	Analyzer string  `json:"analyzer"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+func writeStats(path string, analyzers []*lint.Analyzer, stats map[string]*analyzerStats) error {
+	out := make([]analyzerStats, 0, len(analyzers))
+	for _, a := range analyzers {
+		s := *stats[a.Name]
+		s.WallMS = math.Round(s.WallMS*1000) / 1000
+		out = append(out, s)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ---- output formats ----
 
 // jsonDiag is the -json wire form of one diagnostic.
 type jsonDiag struct {
@@ -160,6 +335,99 @@ func printJSON(diags []lint.Diagnostic) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// SARIF 2.1.0 — the minimum profile CI viewers consume: one run, one
+// driver, a rule per analyzer, a result per diagnostic.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func printSARIF(analyzers []*lint.Analyzer, diags []lint.Diagnostic) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mitslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&log); err != nil {
 		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 		os.Exit(2)
 	}

@@ -122,13 +122,19 @@ func (l *listener) Accept() (net.Conn, error) {
 	return conn, nil
 }
 
+// dialTimeout bounds the injector's TCP connect. The chaos targets
+// are in-process listeners, so any connect that takes seconds is a
+// harness bug, not a scenario — fail it instead of hanging the suite
+// for the OS connect default.
+const dialTimeout = 10 * time.Second
+
 // Dial connects to addr through the injector: refused while
 // partitioned, otherwise returning a fault-wrapped connection.
 func (in *Injector) Dial(addr string) (net.Conn, error) {
 	if err := in.dialCheck(); err != nil {
 		return nil, err
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}

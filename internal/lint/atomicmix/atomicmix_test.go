@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestAtomicMix(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

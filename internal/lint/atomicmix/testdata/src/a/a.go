@@ -1,0 +1,133 @@
+// Package a exercises atomicmix: atomic/plain mixes, atomic/mutex
+// mixes, and naked cross-function access to mutex-guarded fields.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ---- atomic/plain mix ----
+
+type stats struct {
+	hits   int64 // accessed atomically everywhere: clean
+	misses int64 // atomic in record, plain in report: flagged
+}
+
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.hits, 1)
+		return
+	}
+	atomic.AddInt64(&s.misses, 1)
+}
+
+func (s *stats) report() (int64, int64) {
+	h := atomic.LoadInt64(&s.hits)
+	m := s.misses // want "misses is accessed with sync/atomic .* but plainly here"
+	return h, m
+}
+
+// newStats initializes plainly inside its own constructor body: the
+// value is not shared yet, so this is exempt.
+func newStats(seedMisses int64) *stats {
+	s := &stats{}
+	s.misses = seedMisses
+	return s
+}
+
+// ---- atomic/mutex mix ----
+
+type mixed struct {
+	mu    sync.Mutex
+	depth int64
+}
+
+func (m *mixed) bump() {
+	atomic.AddInt64(&m.depth, 1)
+}
+
+func (m *mixed) drain() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.depth // want "depth is accessed with sync/atomic .* mixing a mutex with atomics"
+	m.depth = 0
+	return d
+}
+
+// ---- naked cross-function access ----
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]int
+	frozen  bool
+}
+
+func (r *registry) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = len(r.entries)
+	r.frozen = false
+}
+
+// audit is a free function reaching into a guarded struct without the
+// lock: lockcheck cannot see it (not a method), this rule can.
+func audit(r *registry) int {
+	return len(r.entries) // want "r.entries is guarded by registry.mu elsewhere but accessed here without holding it"
+}
+
+// auditLocked follows the caller-holds-lock convention.
+func auditLocked(r *registry) int {
+	return len(r.entries)
+}
+
+// auditSafe takes the lock first.
+func auditSafe(r *registry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// build constructs the value in the same body: not shared yet.
+func build(names []string) *registry {
+	r := &registry{entries: make(map[string]int)}
+	for i, n := range names {
+		r.entries[n] = i
+	}
+	return r
+}
+
+// NewRegistry is the package's constructor.
+func NewRegistry() *registry {
+	return &registry{entries: make(map[string]int)}
+}
+
+// load populates a constructor-fresh value (the school/mediastore
+// Load-from-snapshot shape): unshared until returned, so naked access
+// is fine.
+func load(names []string) *registry {
+	r := NewRegistry()
+	for i, n := range names {
+		r.entries[n] = i
+	}
+	r.frozen = true
+	return r
+}
+
+// other types' methods are also "naked" when they reach in.
+type prober struct{ r *registry }
+
+func (p prober) frozen() bool {
+	return p.r.frozen // want "r.frozen is guarded by registry.mu elsewhere but accessed here without holding it"
+}
+
+func (p prober) frozenSafe() bool {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	return p.r.frozen
+}
+
+// allowed carries a justification.
+func peek(r *registry) bool {
+	return r.frozen //mits:allow atomicmix read is a monitoring hint; staleness is fine
+}

@@ -1,0 +1,11 @@
+package chanwait
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestChanwait(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a", "regress")
+}

@@ -1,0 +1,155 @@
+// Package a exercises chanwait: completion-wait selects and
+// counterpart-less package-private channels.
+package a
+
+import "sync"
+
+// ---- completion-wait rule ----
+
+// call mirrors a pending RPC: done is its completion channel, closed
+// by the owner's failure path.
+type call struct {
+	id   int
+	done chan struct{}
+	err  error
+}
+
+type client struct {
+	mu      sync.Mutex
+	sendq   chan *call
+	quit    chan struct{}
+	pending map[int]*call
+}
+
+// fail is the teardown path: it completes every pending call.
+func (c *client) fail(err error) {
+	c.mu.Lock()
+	drained := c.pending
+	c.pending = map[int]*call{}
+	c.mu.Unlock()
+	for _, pc := range drained {
+		pc.err = err
+		close(pc.done)
+	}
+}
+
+// enqueueBad is the PR-5 sendq hang: a caller blocked on a full sendq
+// sleeps through fail() closing pc.done.
+func (c *client) enqueueBad(pc *call) {
+	select {
+	case c.sendq <- pc: // want "select sends pc onto c.sendq without waiting on its completion channel pc.done"
+	case <-c.quit:
+	}
+	<-pc.done
+}
+
+// enqueueGood waits on the call's own completion channel too.
+func (c *client) enqueueGood(pc *call) {
+	select {
+	case c.sendq <- pc:
+	case <-pc.done:
+	case <-c.quit:
+	}
+	<-pc.done
+}
+
+// enqueueNonBlocking has a default arm: it cannot park, so the missing
+// completion wait is harmless.
+func (c *client) enqueueNonBlocking(pc *call) bool {
+	select {
+	case c.sendq <- pc:
+		return true
+	default:
+		return false
+	}
+}
+
+// plain values without a completion channel are out of scope.
+type note struct{ text string }
+
+type board struct {
+	posts chan note
+	quit  chan struct{}
+}
+
+func (b *board) post(n note) {
+	select {
+	case b.posts <- n:
+	case <-b.quit:
+	}
+}
+
+func (c *client) writeLoop() {
+	for {
+		select {
+		case pc := <-c.sendq:
+			_ = pc
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (b *board) drain() {
+	for range b.posts {
+	}
+}
+
+func (c *client) closeAll() {
+	close(c.quit)
+	c.fail(nil)
+}
+
+func (b *board) close() { close(b.quit) }
+
+// ---- counterpart rule ----
+
+// orphan has a send but no receive anywhere in the package.
+var orphan = make(chan int)
+
+func sendOrphan() {
+	orphan <- 1 // want "send on orphan can never complete"
+}
+
+// deafened has a receive but no send and no close.
+var deafened = make(chan int)
+
+func recvDeafened() int {
+	return <-deafened // want "receive on deafened can never complete"
+}
+
+// paired has both sides.
+var paired = make(chan int, 1)
+
+func sendPaired() { paired <- 1 }
+func recvPaired() { <-paired }
+
+// closedOnly is completed by close: a quit-channel shape.
+var closedOnly = make(chan struct{})
+
+func waitClosed() { <-closedOnly }
+func release()    { close(closedOnly) }
+
+// escapes is handed to another function, so its counterpart may live
+// outside the package-local view.
+var escapes = make(chan int)
+
+func sendEscapes() {
+	escapes <- 1
+}
+
+func handOff(register func(chan int)) {
+	register(escapes)
+}
+
+// Exported channels may be completed by other packages.
+var Exported = make(chan int)
+
+func sendExported() { Exported <- 1 }
+
+// allowed is suppressed with a justification.
+var allowed = make(chan int)
+
+func sendAllowed() {
+	allowed <- 1 //mits:allow chanwait counterpart lives in a test harness
+}

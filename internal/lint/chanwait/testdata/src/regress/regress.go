@@ -1,0 +1,85 @@
+// Package regress is the PR-5 sendq-hang regression corpus: the
+// enqueue select of the multiplexed TCP client, in the exact broken
+// shape the post-PR-5 review found (no wait on the call's done
+// channel) and in the fixed shape shipping in internal/transport. If
+// the transport fix is ever reverted, the suite cross-test over this
+// package is the tripwire that keeps the bug class named.
+package regress
+
+import "sync"
+
+type frame struct{ corr uint64 }
+
+type pendingCall struct {
+	req  *frame
+	done chan struct{}
+	err  error
+}
+
+type muxClient struct {
+	sendq chan *pendingCall
+	quit  chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	dead    error
+}
+
+// fail drains the pending map and completes every call — including
+// ones still parked on a full sendq. That is why the enqueue select
+// must carry the pc.done arm.
+func (c *muxClient) fail(cause error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = cause
+	}
+	drained := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	c.mu.Unlock()
+	for _, pc := range drained {
+		pc.err = cause
+		close(pc.done)
+	}
+}
+
+// issueBroken is the reverted PR-5 bug: with sendq full and the
+// connection dying, fail() closes pc.done but nobody here is waiting
+// on it — the caller hangs on the enqueue forever.
+func (c *muxClient) issueBroken(pc *pendingCall) error {
+	select {
+	case c.sendq <- pc: // want "select sends pc onto c.sendq without waiting on its completion channel pc.done"
+	case <-c.quit:
+	}
+	<-pc.done
+	return pc.err
+}
+
+// issueFixed is the shipping shape: the enqueue select waits on the
+// call's own completion channel, so fail() releases a parked sender.
+func (c *muxClient) issueFixed(pc *pendingCall) error {
+	select {
+	case c.sendq <- pc:
+	case <-pc.done:
+		// Connection died while the send queue was full; take the
+		// failure from the completion wait below.
+	case <-c.quit:
+	}
+	<-pc.done
+	return pc.err
+}
+
+func (c *muxClient) writeLoop() {
+	for {
+		select {
+		case pc := <-c.sendq:
+			_ = pc.req
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (c *muxClient) close() {
+	close(c.quit)
+	c.fail(nil)
+}

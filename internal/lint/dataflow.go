@@ -1,5 +1,7 @@
 // Dataflow layer: the shared package-local analyses the deeper
-// analyzers (goleak, closecheck, boundscheck) build on. Three pieces:
+// analyzers (goleak, closecheck, boundscheck, and the concurrency
+// suite chanwait/atomicmix/poolcheck/deadlinecheck) build on. Four
+// pieces:
 //
 //   - CallGraph — a static, package-local call graph over function
 //     declarations, with transitive body reachability. `go f()` and
@@ -17,6 +19,15 @@
 //     have had `len(x)` examined by a dominating or preceding condition
 //     (if / for condition, switch case, range loop), with alias
 //     tracking for `n := len(x)`.
+//
+//   - Conc — the concurrency-protocol facts: every channel operation
+//     in the package (send, receive, close, range; plain or inside a
+//     select) resolved to the channel's variable object, every
+//     variable whose address reaches a sync/atomic function, and
+//     classification of sync.Pool Get/Put calls. These are the raw
+//     material the protocol analyzers reason over: "who can complete
+//     this channel", "who touches this field outside the atomic
+//     discipline", "where does this pooled buffer go after Put".
 //
 // Everything here is deliberately package-local and flow-insensitive
 // beyond lexical dominance — the same trade the per-function analyzers
@@ -513,4 +524,334 @@ func (g *Guards) walkStmt(s ast.Stmt, facts map[types.Object]bool) map[types.Obj
 		})
 		return facts
 	}
+}
+
+// ---- concurrency-protocol facts ----
+
+// ChanOpKind classifies one channel operation.
+type ChanOpKind int
+
+// Channel operation kinds.
+const (
+	ChanSend ChanOpKind = iota
+	ChanRecv
+	ChanClose
+	ChanRange
+)
+
+func (k ChanOpKind) String() string {
+	switch k {
+	case ChanSend:
+		return "send"
+	case ChanRecv:
+		return "receive"
+	case ChanClose:
+		return "close"
+	case ChanRange:
+		return "range"
+	}
+	return "chan-op"
+}
+
+// ChanOp is one channel operation, resolved to the channel's
+// variable-like object (nil when the channel expression is a call
+// result or other unresolvable form).
+type ChanOp struct {
+	Kind ChanOpKind
+	Pos  token.Pos
+	Chan ast.Expr     // the channel expression
+	Obj  types.Object // Referent(Chan); nil when unresolvable
+
+	// Select is the enclosing select statement when the operation is a
+	// communication case of one; nil for plain statements. A plain send
+	// or receive always blocks; a select case blocks only when the
+	// select has no default (SelectDefault reports that).
+	Select        *ast.SelectStmt
+	SelectDefault bool
+}
+
+// Blocking reports whether the operation can park its goroutine
+// indefinitely: a plain send/receive/range, or a case of a select with
+// no default clause. close never blocks.
+func (op ChanOp) Blocking() bool {
+	if op.Kind == ChanClose {
+		return false
+	}
+	if op.Select != nil {
+		return !op.SelectDefault
+	}
+	return true
+}
+
+// Conc holds the package's concurrency-protocol facts.
+type Conc struct {
+	pass *Pass
+
+	// Ops is every channel operation in the package, in file order.
+	Ops []ChanOp
+
+	// OpaqueChans is the set of channel objects used in some way other
+	// than a direct channel operation or initialization — passed to a
+	// function, stored into another structure, captured by an interface
+	// conversion. A counterpart for such a channel may live outside the
+	// analyzable surface, so completion reasoning must not assume the
+	// package-local view is total.
+	OpaqueChans map[types.Object]bool
+
+	// AtomicUses maps each variable-like object whose address is passed
+	// to a sync/atomic function to those call positions.
+	AtomicUses map[types.Object][]token.Pos
+}
+
+// NewConc extracts the package's concurrency facts.
+func NewConc(pass *Pass) *Conc {
+	c := &Conc{
+		pass:        pass,
+		OpaqueChans: make(map[types.Object]bool),
+		AtomicUses:  make(map[types.Object][]token.Pos),
+	}
+	for _, f := range pass.Files {
+		c.collectFile(f)
+	}
+	return c
+}
+
+func (c *Conc) collectFile(f *ast.File) {
+	parents := Parents(f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			c.addOp(parents, ChanOp{Kind: ChanSend, Pos: n.Pos(), Chan: n.Chan}, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.addOp(parents, ChanOp{Kind: ChanRecv, Pos: n.Pos(), Chan: n.X}, n)
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					c.addOp(parents, ChanOp{Kind: ChanRange, Pos: n.Pos(), Chan: n.X}, n)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					c.addOp(parents, ChanOp{Kind: ChanClose, Pos: n.Pos(), Chan: n.Args[0]}, n)
+				}
+			}
+			c.collectAtomic(n)
+		}
+		return true
+	})
+	// Opaque-use scan: any appearance of a channel-typed variable that
+	// the op walk above (or plain initialization) does not account for.
+	ast.Inspect(f, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		obj := c.pass.Referent(e)
+		if obj == nil {
+			return true
+		}
+		if t := obj.Type(); t == nil {
+			return true
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if c.chanUseAccounted(parents, e) {
+			return true
+		}
+		c.OpaqueChans[obj] = true
+		return true
+	})
+}
+
+// chanUseAccounted reports whether this appearance of a channel-valued
+// expression is one the protocol analysis understands: a direct channel
+// operation, a len/cap inspection, an initialization (assignment LHS,
+// composite-literal key, declaration), a nil comparison, or the inner
+// part of a larger selector resolving to the same op.
+func (c *Conc) chanUseAccounted(parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	parent := parents[e]
+	// Unwrap parens and selector composition: for a.b.ch the idents a
+	// and a.b are bases of the selector, not independent uses.
+	switch p := parent.(type) {
+	case *ast.ParenExpr:
+		return c.chanUseAccounted(parents, p)
+	case *ast.SelectorExpr:
+		if p.X == e {
+			return true // base of a selector; the selector itself is classified
+		}
+		// e is the Sel ident of a selector: classify the whole selector.
+		return c.chanUseAccounted(parents, p)
+	case *ast.SendStmt:
+		return p.Chan == e
+	case *ast.UnaryExpr:
+		return p.Op == token.ARROW
+	case *ast.RangeStmt:
+		return p.X == e
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "close", "len", "cap":
+					return true
+				}
+			}
+		}
+		return false // passed to a function: opaque
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == e {
+				return true // being (re)initialized
+			}
+		}
+		return false // RHS of an assignment to something else: stored away
+	case *ast.KeyValueExpr:
+		return p.Key == e // composite-literal field name, not a value use
+	case *ast.BinaryExpr:
+		// nil comparison is an inspection, not an escape.
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			return true
+		}
+		return false
+	case *ast.ValueSpec, *ast.Field:
+		return true // declaration site
+	}
+	return false
+}
+
+func (c *Conc) addOp(parents map[ast.Node]ast.Node, op ChanOp, at ast.Node) {
+	op.Obj = c.pass.Referent(op.Chan)
+	// Find an enclosing select communication clause, if any: the
+	// operation must be the CommClause's comm statement (or its direct
+	// expression), not buried in a case body.
+	for n := at; n != nil; n = parents[n] {
+		if clause, ok := n.(*ast.CommClause); ok {
+			// A CommClause's parent is the select's body block, whose
+			// parent is the SelectStmt itself.
+			if sel, ok := parents[parents[clause]].(*ast.SelectStmt); ok && containsComm(clause, at) {
+				op.Select = sel
+				op.SelectDefault = selectHasDefault(sel)
+			}
+			break
+		}
+		if _, ok := n.(*ast.BlockStmt); ok {
+			break // inside a case body (or any block), not the comm itself
+		}
+	}
+	c.Ops = append(c.Ops, op)
+}
+
+// containsComm reports whether node is part of the clause's comm
+// statement (as opposed to its body).
+func containsComm(clause *ast.CommClause, node ast.Node) bool {
+	if clause.Comm == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(clause.Comm, func(n ast.Node) bool {
+		if n == node {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomic records &x arguments of sync/atomic function calls.
+func (c *Conc) collectAtomic(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	for _, arg := range call.Args {
+		ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			continue
+		}
+		if obj := c.pass.Referent(ue.X); obj != nil {
+			c.AtomicUses[obj] = append(c.AtomicUses[obj], call.Pos())
+		}
+	}
+}
+
+// Completers summarizes, per channel object, who can complete an
+// operation on it package-wide.
+type Completers struct {
+	Senders   map[types.Object][]token.Pos // sends (incl. select cases)
+	Receivers map[types.Object][]token.Pos // receives and ranges
+	Closers   map[types.Object][]token.Pos // close calls
+}
+
+// Completers indexes the package's channel operations by object.
+func (c *Conc) Completers() Completers {
+	out := Completers{
+		Senders:   make(map[types.Object][]token.Pos),
+		Receivers: make(map[types.Object][]token.Pos),
+		Closers:   make(map[types.Object][]token.Pos),
+	}
+	for _, op := range c.Ops {
+		if op.Obj == nil {
+			continue
+		}
+		switch op.Kind {
+		case ChanSend:
+			out.Senders[op.Obj] = append(out.Senders[op.Obj], op.Pos)
+		case ChanRecv, ChanRange:
+			out.Receivers[op.Obj] = append(out.Receivers[op.Obj], op.Pos)
+		case ChanClose:
+			out.Closers[op.Obj] = append(out.Closers[op.Obj], op.Pos)
+		}
+	}
+	return out
+}
+
+// ---- sync.Pool classification ----
+
+// IsPoolType reports whether t is sync.Pool (or a pointer to it).
+func IsPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// PoolCall classifies call as a sync.Pool Get or Put: it returns the
+// method name ("Get" or "Put") when the callee is a method of
+// sync.Pool, "" otherwise.
+func (p *Pass) PoolCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "Get" && name != "Put" {
+		return ""
+	}
+	if !IsPoolType(p.TypesInfo.TypeOf(sel.X)) {
+		return ""
+	}
+	return name
 }

@@ -1,0 +1,11 @@
+package deadlinecheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

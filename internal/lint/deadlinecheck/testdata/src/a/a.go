@@ -1,0 +1,130 @@
+// Package a exercises deadlinecheck: unbounded dials and blocking
+// interface calls with and without a reachable deadline.
+package a
+
+import (
+	"context"
+	"io"
+	"net"
+	"time"
+)
+
+// ---- rule 1: unbounded connect ----
+
+func rawDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "net.Dial has no connect timeout"
+}
+
+func boundedDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+func dialerDial(addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	return d.Dial("tcp", addr)
+}
+
+// ---- rule 2: blocking interface calls ----
+
+// Store has a blocking Query and no deadline-capable implementation
+// anywhere in this package.
+type Store interface {
+	Query(key string) ([]byte, error)
+}
+
+type memStore struct{}
+
+func (memStore) Query(key string) ([]byte, error) { return nil, nil }
+
+type navigator struct {
+	backend Store
+}
+
+func (n *navigator) lookup(key string) ([]byte, error) {
+	return n.backend.Query(key) // want "blocking Store.Query has no reachable deadline"
+}
+
+// Remote is bounded: remoteStore carries a per-call Timeout knob.
+type Remote interface {
+	Call(method string, payload []byte) ([]byte, error)
+}
+
+type remoteStore struct {
+	Timeout time.Duration
+}
+
+func (r *remoteStore) Call(method string, payload []byte) ([]byte, error) { return nil, nil }
+
+type client struct {
+	c Remote
+}
+
+func (c *client) fetch(method string) ([]byte, error) {
+	return c.c.Call(method, nil)
+}
+
+// CtxStore rides the deadline in on a context.
+type CtxStore interface {
+	Query(ctx context.Context, key string) ([]byte, error)
+}
+
+func ctxLookup(s CtxStore, key string) ([]byte, error) {
+	return s.Query(context.Background(), key)
+}
+
+// bounded is a method of a struct with its own knob: the type owns the
+// deadline even though this body does not set one.
+type server struct {
+	ConnTimeout time.Duration
+	backend     Store
+}
+
+func (s *server) serve(key string) ([]byte, error) {
+	return s.backend.Query(key) // the receiver's ConnTimeout bounds it
+}
+
+// setsDeadline bounds the conn itself before blocking on it.
+type wrapped struct {
+	conn net.Conn
+	b    Store
+}
+
+func (w *wrapped) pump(buf []byte) error {
+	_ = w.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, err := w.b.Query("k")
+	return err
+}
+
+// helper is handed an io.Reader: it cannot set deadlines on it, so the
+// bound is its caller's responsibility.
+func helper(r io.Reader, buf []byte) (int, error) {
+	return r.Read(buf)
+}
+
+// conns declare their own setters: the caller can bound them, so the
+// interface is deadline-capable by construction.
+type proxy struct {
+	conn net.Conn
+}
+
+func (p *proxy) relay(buf []byte) (int, error) {
+	return p.conn.Read(buf)
+}
+
+// nonBlockingNames are out of scope regardless of deadline.
+type closerStore interface {
+	Close() error
+}
+
+func shutdown(c closerStore) error {
+	return c.Close()
+}
+
+// allowed documents a hang-by-design.
+type pollStore struct {
+	b Store
+}
+
+func (p *pollStore) wait(key string) ([]byte, error) {
+	return p.b.Query(key) //mits:allow deadlinecheck per-call timers in the caller bound this poll
+}

@@ -1,0 +1,146 @@
+// Package a exercises poolcheck: double-Put, use-after-Put, and
+// pooled values crossing the exported API, through the same wrapper
+// idiom the transport uses (getBuf/putBuf around a size-classed pool).
+package a
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// getBuf is a pool source (returns a pool.Get result).
+func getBuf() []byte {
+	b := pool.Get().(*[]byte)
+	return (*b)[:0]
+}
+
+// putBuf is a release (hands its parameter to pool.Put).
+func putBuf(b []byte) {
+	b = b[:0]
+	pool.Put(&b)
+}
+
+type frame struct {
+	buf     []byte
+	payload []byte
+}
+
+// releaseFrame is a transitive release: putBuf on a field of its
+// parameter. Its own cleanup stores after the Put must not fire.
+func releaseFrame(f *frame) {
+	if f.buf != nil {
+		putBuf(f.buf)
+		f.buf = nil
+		f.payload = nil
+	}
+}
+
+// writeRecord is the clean shape: source, use, release, no touch after.
+func writeRecord(data []byte) error {
+	buf := getBuf()
+	buf = append(buf, data...)
+	err := send(buf)
+	putBuf(buf)
+	return err
+}
+
+// doublePut releases the same buffer twice on one path.
+func doublePut(data []byte) {
+	buf := getBuf()
+	buf = append(buf, data...)
+	putBuf(buf)
+	putBuf(buf) // want "buf is returned to the pool twice"
+}
+
+// useAfterPut touches the buffer after handing it back.
+func useAfterPut(data []byte) int {
+	buf := getBuf()
+	buf = append(buf, data...)
+	putBuf(buf)
+	return len(buf) // want "buf is used after being returned to the pool"
+}
+
+// branchRelease puts only on the error path and returns: the
+// straight-line code after the branch still owns the buffer.
+func branchRelease(data []byte) ([]byte, error) {
+	buf := getBuf()
+	if err := fill(buf, data); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf[:len(data)], nil
+}
+
+// regrow is the readBody shape: the old buffer is put and the variable
+// immediately rebound to a fresh one.
+func regrow(n int) []byte {
+	buf := getBuf()
+	for len(buf) < n {
+		nb := getBuf()
+		copy(nb, buf)
+		putBuf(buf)
+		buf = nb
+	}
+	return buf
+}
+
+// deferredRelease pairs the Put with defer: every lexical use below
+// runs before it.
+func deferredRelease(data []byte) int {
+	buf := getBuf()
+	defer putBuf(buf)
+	buf = append(buf, data...)
+	return len(buf)
+}
+
+// frameRelease releases through the transitive wrapper, then uses the
+// frame's payload.
+func frameRelease(f *frame) []byte {
+	releaseFrame(f)
+	return f.payload // want "f is used after being returned to the pool"
+}
+
+// frameDone releases last.
+func frameDone(f *frame) int {
+	n := len(f.payload)
+	releaseFrame(f)
+	return n
+}
+
+// Exported boundary: a pooled buffer must not be returned to callers
+// outside the package.
+func Marshal(data []byte) []byte {
+	buf := getBuf()
+	buf = append(buf, data...)
+	return buf // want "exported Marshal returns a pool-backed buffer"
+}
+
+// MarshalCopy returns caller-owned memory.
+func MarshalCopy(data []byte) []byte {
+	buf := getBuf()
+	buf = append(buf, data...)
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	putBuf(buf)
+	return out
+}
+
+// Recycle pulls a caller-owned argument into the pool.
+func Recycle(b []byte) {
+	putBuf(b) // want "exported Recycle recycles its parameter b into a pool"
+}
+
+// internalRecycle is package-private: callers inside the package know
+// the discipline, so parameter release is the wrapper idiom itself.
+func internalRecycle(b []byte) {
+	putBuf(b)
+}
+
+// allowed documents a deliberate ownership transfer.
+func Handoff(data []byte) []byte {
+	buf := getBuf()
+	buf = append(buf, data...)
+	return buf //mits:allow poolcheck caller contract documents ReleaseBuf
+}
+
+func send(b []byte) error       { return nil }
+func fill(b, data []byte) error { return nil }

@@ -3,13 +3,17 @@ package suite
 
 import (
 	"mits/internal/lint"
+	"mits/internal/lint/atomicmix"
 	"mits/internal/lint/boundscheck"
+	"mits/internal/lint/chanwait"
 	"mits/internal/lint/closecheck"
+	"mits/internal/lint/deadlinecheck"
 	"mits/internal/lint/errdrop"
 	"mits/internal/lint/goleak"
 	"mits/internal/lint/lifecycle"
 	"mits/internal/lint/lockcheck"
 	"mits/internal/lint/logcheck"
+	"mits/internal/lint/poolcheck"
 	"mits/internal/lint/sleepless"
 )
 
@@ -24,5 +28,9 @@ func All() []*lint.Analyzer {
 		goleak.Analyzer,
 		closecheck.Analyzer,
 		boundscheck.Analyzer,
+		chanwait.Analyzer,
+		atomicmix.Analyzer,
+		poolcheck.Analyzer,
+		deadlinecheck.Analyzer,
 	}
 }

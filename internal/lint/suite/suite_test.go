@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mits/internal/lint"
+	"mits/internal/lint/chanwait"
 )
 
 // TestSuiteWellFormed pins the conventions every analyzer in the suite
@@ -38,5 +41,56 @@ func TestSuiteWellFormed(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(pkgDir, a.Name+"_test.go")); err != nil {
 			t.Errorf("analyzer %s has no %s_test.go: %v", a.Name, a.Name, err)
 		}
+	}
+}
+
+// TestSuiteConcurrencyAnalyzersRegistered pins the concurrency-protocol
+// layer into the suite: the four analyzers built on the Conc fact
+// extractor must stay registered, or mitslint silently stops guarding
+// the multiplexed hot path.
+func TestSuiteConcurrencyAnalyzersRegistered(t *testing.T) {
+	want := []string{"chanwait", "atomicmix", "poolcheck", "deadlinecheck"}
+	have := make(map[string]bool)
+	for _, a := range All() {
+		have[a.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("suite is missing the %s analyzer", name)
+		}
+	}
+}
+
+// TestChanwaitGuardsTransportEnqueue is the PR-5 sendq-hang tripwire,
+// run cross-package: chanwait over the real transport package must
+// stay clean. The fix it guards is the `case <-pc.done:` arm of
+// TCPClient.issue's enqueue select — revert it and chanwait reports
+// the select as deaf to its completion channel, failing this test
+// before any stress run has to reproduce the hang. The firing shape
+// itself is pinned in chanwait/testdata/src/regress.
+func TestChanwaitGuardsTransportEnqueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/transport")
+	}
+	pkgs, err := lint.Load("", "mits/internal/transport")
+	if err != nil {
+		t.Fatalf("loading transport: %v", err)
+	}
+	checked := false
+	for _, pkg := range pkgs {
+		if pkg.ImportPath != "mits/internal/transport" {
+			continue
+		}
+		checked = true
+		diags, err := lint.Run(chanwait.Analyzer, pkg)
+		if err != nil {
+			t.Fatalf("chanwait over transport: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("chanwait finding in transport (PR-5 hang class regressed?): %s", d.String())
+		}
+	}
+	if !checked {
+		t.Fatal("mits/internal/transport not among loaded packages")
 	}
 }

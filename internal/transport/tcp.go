@@ -435,9 +435,16 @@ const sendQueueDepth = 64
 // "the connection is gone, whoever's fault it was".
 var errClientClosed = fmt.Errorf("%w (client closed)", ErrPeerClosed)
 
-// DialTCP connects to a server.
+// DialTimeout bounds DialTCP's TCP connect. An unbounded net.Dial
+// blocks in SYN retries for the OS default (minutes) when the peer
+// address black-holes; no navigator start-up should wait that long to
+// learn the content server is unreachable. A var, not a const, so
+// chaos harnesses can shorten it.
+var DialTimeout = 10 * time.Second
+
+// DialTCP connects to a server, giving up after DialTimeout.
 func DialTCP(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, err
 	}

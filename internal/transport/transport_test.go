@@ -370,3 +370,25 @@ func TestLoopbackErrorPropagation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDialTCPConnectBounded pins the connect timeout on DialTCP. The
+// target is a TEST-NET-1 address (RFC 5737: never routed), so the SYN
+// either black-holes or the local stack refuses it immediately; with
+// the timeout applied the call must fail fast either way. Reverting to
+// an unbounded net.Dial hangs this test for the OS connect default on
+// any host where the address black-holes.
+func TestDialTCPConnectBounded(t *testing.T) {
+	old := DialTimeout
+	DialTimeout = 100 * time.Millisecond
+	defer func() { DialTimeout = old }()
+	start := time.Now()
+	c, err := DialTCP("192.0.2.1:9")
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Skip("TEST-NET-1 address unexpectedly reachable on this host")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("DialTCP to a black-holed address took %v; connect timeout not applied", elapsed)
+	}
+}

@@ -4,13 +4,15 @@
 # that regress lint time show up in review. The binary is built first
 # so the measurement is analysis time, not compile time; the run is
 # repeated and the best of three keeps scheduler noise out of the
-# baseline.
+# baseline. Per-analyzer wall time and finding counts (mitslint -stats)
+# ride along from the best run, so a regression points at the analyzer
+# that caused it, not just at the total.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go build -o /tmp/mitslint.bench ./cmd/mitslint
-trap 'rm -f /tmp/mitslint.bench' EXIT
+trap 'rm -f /tmp/mitslint.bench /tmp/mitslint.stats.json /tmp/mitslint.stats.run.json' EXIT
 
 analyzers=$(/tmp/mitslint.bench -list | wc -l)
 packages=$(go list ./... | wc -l)
@@ -18,13 +20,16 @@ packages=$(go list ./... | wc -l)
 best_ms=""
 for run in 1 2 3; do
 	start=$(date +%s%N)
-	/tmp/mitslint.bench ./...
+	/tmp/mitslint.bench -stats /tmp/mitslint.stats.run.json ./...
 	end=$(date +%s%N)
 	ms=$(( (end - start) / 1000000 ))
 	if [ -z "$best_ms" ] || [ "$ms" -lt "$best_ms" ]; then
 		best_ms=$ms
+		mv /tmp/mitslint.stats.run.json /tmp/mitslint.stats.json
 	fi
 done
+
+per_analyzer=$(cat /tmp/mitslint.stats.json)
 
 cat > BENCH_lint.json <<EOF
 {
@@ -33,7 +38,8 @@ cat > BENCH_lint.json <<EOF
   "analyzers": $analyzers,
   "packages": $packages,
   "best_of": 3,
-  "wall_ms": $best_ms
+  "wall_ms": $best_ms,
+  "per_analyzer": $per_analyzer
 }
 EOF
 echo "mitslint ./... ($analyzers analyzers, $packages packages): ${best_ms} ms"

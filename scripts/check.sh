@@ -67,4 +67,12 @@ go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v .
 echo "==> scripts/bench_pipeline.sh"
 ./scripts/bench_pipeline.sh
 
+# Race-stress gate: the transport pipelining and cache singleflight
+# suites repeated 5× under the race detector (make racestress). The
+# concurrency analyzers (chanwait, atomicmix, poolcheck, deadlinecheck)
+# verify the protocol shapes statically; this leg exercises the
+# interleavings they cannot see.
+echo "==> make racestress"
+make racestress
+
 echo "==> all checks passed"

@@ -57,10 +57,15 @@ racestress:
 	go test -race -count=5 -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce|TestEnqueueBlockedCallersReleasedOnConnDeath|TestWriteLoopSkipsAbandonedFrames|TestConnDeathFailsAllInFlight|TestCallTimeoutKeepsConnection' ./internal/transport/
 	go test -race -count=5 -run 'TestSingleflight|TestFillErrorNotCached|TestConcurrentMixedKeys' ./internal/cache/
 
-# Observability checks alone: obs tests, the traced-RPC smoke scrape,
-# and the transport latency baseline (writes BENCH_obs.json).
+# Observability checks alone: obs + collector + transport tests under
+# the race detector, the two-leg smoke (traced-RPC scrape + three-node
+# trace pipeline over the collector's HTTP views), the E30 cross-site
+# trace experiment, and the overhead benchmarks (scripts/bench_obs.sh
+# writes BENCH_obs.json: traced-RPC latency, export overhead at 8
+# callers — acceptance <5% — and collector assembly throughput).
 .PHONY: obs
 obs:
-	go test -race ./internal/obs/ ./internal/transport/
+	go test -race ./internal/obs/... ./internal/transport/
 	go run ./cmd/obssmoke
-	go test -run=NONE -bench=BenchmarkE27 .
+	go test -race -run 'TestAllExperimentsPassShapeChecks/E30' -v ./internal/experiments/
+	./scripts/bench_obs.sh

@@ -31,6 +31,7 @@ import (
 	"mits/internal/mheg/engine"
 	"mits/internal/navigator"
 	"mits/internal/obs"
+	"mits/internal/obs/collect"
 	"mits/internal/production"
 	"mits/internal/sched"
 	"mits/internal/school"
@@ -1044,4 +1045,166 @@ func BenchmarkPipelinedThroughput(b *testing.B) {
 	if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// mergeBenchJSON folds add into the JSON object at path, creating the
+// file if absent — so benchmarks sharing one output file (E27 writes
+// BENCH_obs.json fresh, the E30 benchmarks annotate it) compose under
+// any -bench filter.
+func mergeBenchJSON(b *testing.B, path string, add map[string]any) {
+	b.Helper()
+	out := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			out = map[string]any{}
+		}
+	}
+	for k, v := range add {
+		out[k] = v
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE30ExportOverhead prices the trace pipeline on the E29
+// workload: 8 pipelined callers fetching content from a store paying a
+// modeled 1 ms service latency, once with span export disabled and
+// once shipping every span to a live collector over TCP. The
+// acceptance bound is <5% throughput overhead — the cost of leaving
+// the flight recorder on in production. The measured fraction is
+// merged into BENCH_obs.json next to the E27 latency baseline.
+func BenchmarkE30ExportOverhead(b *testing.B) {
+	const storeServiceDelay = time.Millisecond
+	const callers = 8
+	const ref = "bench/clip.mpg"
+	store := mediastore.New()
+	if err := store.PutContent(ref, "mpeg", make([]byte, 16<<10)); err != nil {
+		b.Fatal(err)
+	}
+	mux := transport.NewMux()
+	transport.RegisterStore(mux, store)
+	slowStore := transport.HandlerFunc(func(method string, payload []byte) ([]byte, error) {
+		time.Sleep(storeServiceDelay) //mits:allow sleepless modeled store service latency under benchmark
+		return mux.Handle(method, payload)
+	})
+	srv := transport.NewTCPServer(slowStore)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := transport.DialTCP(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	db := transport.DBClient{C: cli}
+
+	run := func(b *testing.B) float64 {
+		per := (b.N + callers - 1) / callers
+		errc := make(chan error, callers)
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := db.GetContent(ref); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+		thr := float64(per*callers) / elapsed.Seconds()
+		b.ReportMetric(thr, "rpcs/sec")
+		return thr
+	}
+
+	var off, on float64
+	b.Run("export=off", func(b *testing.B) { off = run(b) })
+
+	col := collect.NewCollector(collect.RetainPolicy{SampleRate: 0})
+	defer col.Close()
+	colMux := transport.NewMux()
+	col.Register(colMux)
+	colSrv := transport.NewTCPServer(colMux)
+	colAddr, err := colSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer colSrv.Close()
+	exporter := collect.StartExporter(obs.Default, collect.Dial(colAddr), collect.ExporterOptions{Site: "bench"})
+	b.Run("export=on", func(b *testing.B) { on = run(b) })
+	exporter.Flush()
+	if err := exporter.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	overhead := 0.0
+	if off > 0 && on < off {
+		overhead = (off - on) / off
+	}
+	b.ReportMetric(overhead*100, "overhead_%")
+	mergeBenchJSON(b, "BENCH_obs.json", map[string]any{
+		"export_overhead": map[string]any{
+			"benchmark":          "E30ExportOverhead",
+			"callers":            callers,
+			"rpcs_per_sec_off":   off,
+			"rpcs_per_sec_on":    on,
+			"overhead_fraction":  overhead,
+			"acceptance_sub_5pc": overhead < 0.05,
+		},
+	})
+}
+
+// BenchmarkE30CollectorAssembly prices the collector's side of the
+// pipeline: batches of four-hop traces added directly (no network),
+// measuring assembly + tail-sampling + critical-path throughput in
+// spans/sec. Merged into BENCH_obs.json.
+func BenchmarkE30CollectorAssembly(b *testing.B) {
+	col := collect.NewCollector(collect.RetainPolicy{SlowThreshold: time.Hour, SampleRate: 0})
+	defer col.Close()
+	mk := func(trace, id, parent uint64, kind string, dur time.Duration) collect.SpanRecord {
+		return collect.SpanRecord{
+			Trace: trace, ID: id, Parent: parent, Name: "db.GetContent", Kind: kind,
+			Site: "bench", StartNS: int64(id), DurNS: int64(dur),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace := uint64(i + 1)
+		col.Add(collect.Batch{Site: "bench", Spans: []collect.SpanRecord{
+			mk(trace, 1, 0, "client", 4*time.Millisecond),
+			mk(trace, 2, 1, "server", 3*time.Millisecond),
+			mk(trace, 3, 2, "client", 2*time.Millisecond),
+			mk(trace, 4, 3, "server", time.Millisecond),
+		}})
+	}
+	col.Sweep(0)
+	b.StopTimer()
+	spansPerSec := float64(b.N*4) / b.Elapsed().Seconds()
+	b.ReportMetric(spansPerSec, "spans/sec")
+	mergeBenchJSON(b, "BENCH_obs.json", map[string]any{
+		"collector_assembly": map[string]any{
+			"benchmark":     "E30CollectorAssembly",
+			"spans_per_sec": spansPerSec,
+		},
+	})
 }

@@ -6,10 +6,17 @@
 //	mitsd -addr 127.0.0.1:7121                  # fresh school with the sample courses
 //	mitsd -addr :7121 -db /var/mits/school.db   # load/save a database image
 //	mitsd -stats 127.0.0.1:7122                 # observability endpoint
+//	mitsd -collect 127.0.0.1:7123 -stats 127.0.0.1:7122   # trace collector
+//	mitsd -export 127.0.0.1:7123                # ship spans to a collector
 //
 // With -stats, GET /stats returns the obs text exposition (counters,
-// gauges, latency percentiles, recent RPC spans), /debug/vars the
-// expvar mirror and /healthz a liveness 200.
+// gauges, latency percentiles, recent RPC spans), /metrics the
+// Prometheus exposition, /debug/vars the expvar mirror, /debug/pprof/*
+// the runtime profiles and /healthz a liveness 200. With -collect the
+// daemon also runs a trace collector on the given RPC address and
+// mounts its /traces, /trace and /slowest views on the stats endpoint;
+// with -export it ships its own finished spans to a collector
+// elsewhere (typically another mitsd run with -collect).
 package main
 
 import (
@@ -18,12 +25,15 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mits"
 	"mits/internal/exercise"
 	"mits/internal/mediastore"
 	"mits/internal/obs"
+	"mits/internal/obs/collect"
 	"mits/internal/school"
+	"mits/internal/transport"
 )
 
 func main() {
@@ -32,6 +42,8 @@ func main() {
 	dbPath := flag.String("db", "", "database image to load at start and save on shutdown")
 	name := flag.String("school", "MIRL TeleSchool", "school name")
 	noSamples := flag.Bool("no-samples", false, "do not publish the sample courses")
+	exportAddr := flag.String("export", "", "ship finished spans to the trace collector at this address")
+	collectAddr := flag.String("collect", "", "run a trace collector on this RPC address (views on -stats)")
 	verbose := flag.Bool("v", false, "log at debug level")
 	flag.Parse()
 
@@ -78,13 +90,44 @@ func main() {
 	if err != nil {
 		fatal(logger, "listen", err)
 	}
+
+	// Trace collector: the flight recorder this site offers the rest of
+	// the deployment. Peers point -export here; the views ride -stats.
+	var col *collect.Collector
+	var colSrv *transport.TCPServer
+	if *collectAddr != "" {
+		col = collect.NewCollector(collect.RetainPolicy{})
+		colMux := transport.NewMux()
+		col.Register(colMux)
+		colSrv = transport.NewTCPServer(colMux)
+		colBound, err := colSrv.Listen(*collectAddr)
+		if err != nil {
+			fatal(logger, "collector listen", err)
+		}
+		col.Start(time.Second)
+		logger.Info("trace collector up", "addr", colBound)
+	}
+
 	var stats *obs.StatsServer
 	if *statsAddr != "" {
-		stats, err = obs.ServeStats(*statsAddr)
+		if col != nil {
+			stats, err = obs.ServeStatsMux(*statsAddr, col.Mount)
+		} else {
+			stats, err = obs.ServeStats(*statsAddr)
+		}
 		if err != nil {
 			fatal(logger, "stats listen", err)
 		}
 		logger.Info("stats endpoint up", "addr", stats.Addr)
+	}
+
+	// Span exporter: ship this daemon's finished spans to a collector
+	// elsewhere. Never blocks the serving path; drops are counted in
+	// obs_export_dropped_total.
+	var exporter *collect.Exporter
+	if *exportAddr != "" {
+		exporter = collect.StartExporter(obs.Default, collect.Dial(*exportAddr), collect.ExporterOptions{Site: "mitsd"})
+		logger.Info("span export up", "collector", *exportAddr)
 	}
 	docs, contents := sys.Store.Sizes()
 	logger.Info("serving", "school", *name, "addr", bound, "documents", docs, "content_objects", contents)
@@ -93,9 +136,23 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	logger.Info("shutting down")
+	if exporter != nil {
+		// Flush the last spans out before the transports go away.
+		if err := exporter.Close(); err != nil {
+			logger.Warn("close span exporter", "err", err)
+		}
+	}
 	if stats != nil {
 		if err := stats.Close(); err != nil {
 			logger.Warn("close stats endpoint", "err", err)
+		}
+	}
+	if colSrv != nil {
+		if err := colSrv.Close(); err != nil {
+			logger.Warn("close collector listener", "err", err)
+		}
+		if err := col.Close(); err != nil {
+			logger.Warn("close collector", "err", err)
 		}
 	}
 	if err := srv.Close(); err != nil {

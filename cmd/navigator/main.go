@@ -47,6 +47,7 @@ import (
 	"mits/internal/media"
 	"mits/internal/mediastore"
 	"mits/internal/obs"
+	"mits/internal/obs/collect"
 	"mits/internal/school"
 	"mits/internal/transport"
 )
@@ -54,6 +55,7 @@ import (
 func main() {
 	server := flag.String("server", "127.0.0.1:7121", "mitsd address")
 	statsAddr := flag.String("stats", "", "HTTP stats listen address (empty disables the endpoint)")
+	exportAddr := flag.String("export", "", "ship finished spans to the trace collector at this address")
 	flag.Parse()
 
 	// The content cache (and the client-side transport counters) live
@@ -67,6 +69,15 @@ func main() {
 		}
 		defer stats.Close() //mits:allow errdrop best-effort close on exit
 		fmt.Printf("stats endpoint up at http://%s/stats\n", stats.Addr)
+	}
+
+	// Span export: the navigator's client spans are the student's half
+	// of every trace — shipping them to the deployment's collector is
+	// what lets a slow request be blamed on the right site.
+	if *exportAddr != "" {
+		exporter := collect.StartExporter(obs.Default, collect.Dial(*exportAddr), collect.ExporterOptions{Site: "navigator"})
+		defer exporter.Close() //mits:allow errdrop best-effort close on exit
+		fmt.Printf("exporting spans to %s\n", *exportAddr)
 	}
 
 	dbConn, err := transport.DialTCP(*server)

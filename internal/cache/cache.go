@@ -16,6 +16,7 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"mits/internal/obs"
 )
@@ -32,9 +33,12 @@ type Cache struct {
 	bytes  int64
 
 	// Exposed in /stats: hit ratio tells an operator whether the cache
-	// is sized for the working set, evictions whether it is thrashing.
+	// is sized for the working set, evictions whether it is thrashing,
+	// and the fill-latency histogram what a miss actually costs (the
+	// upstream fetch time a hit saves).
 	hits, misses, evictions, shared *obs.Counter
 	bytesGauge, objectsGauge        *obs.Gauge
+	fillLatency                     *obs.Histogram
 }
 
 // entry is one resident object.
@@ -67,6 +71,7 @@ func New(name string, maxBytes int64) *Cache {
 		shared:       obs.GetCounter("cache_singleflight_shared_total", "cache", name),
 		bytesGauge:   obs.GetGauge("cache_bytes", "cache", name),
 		objectsGauge: obs.GetGauge("cache_objects", "cache", name),
+		fillLatency:  obs.GetHistogram("cache_fill_latency_ns", "cache", name),
 	}
 }
 
@@ -109,7 +114,9 @@ func (c *Cache) GetOrFill(key string, fetch func() (val any, cost int64, err err
 	c.misses.Inc()
 	c.mu.Unlock()
 
+	start := time.Now()
 	val, cost, err := fetch()
+	c.fillLatency.Observe(time.Since(start))
 
 	c.mu.Lock()
 	delete(c.flight, key)

@@ -115,6 +115,7 @@ func All() []Entry {
 		{"E25", E25InterMediaSync},
 		{"E26", E26ABRFeedback},
 		{"E28", E28Chaos},
+		{"E30", E30TraceCollection},
 	}
 }
 

@@ -1,0 +1,11 @@
+package spancheck
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestSpancheck(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,164 @@
+// Package a exercises spancheck: spans ended on every path, ended via
+// defer or closure, escaping, and leaked on early returns.
+package a
+
+import "errors"
+
+// Span mimics obs.Span: tracked because the constructors below are
+// named like the obs ones and the result has an End method.
+type Span struct {
+	Trace uint64
+}
+
+// End finishes the span.
+func (s *Span) End(err error) {}
+
+// Context inspects the span without ending it.
+func (s *Span) Context() uint64 { return s.Trace }
+
+// StartSpan mimics obs.StartSpan.
+func StartSpan(name, kind string) *Span { return &Span{} }
+
+// ContinueSpan mimics obs.ContinueSpan.
+func ContinueSpan(name, kind string, trace, parent uint64) *Span { return &Span{} }
+
+// SpanFromContext mimics obs.SpanFromContext.
+func SpanFromContext(name, kind string, trace uint64) *Span { return &Span{} }
+
+var errBoom = errors.New("boom")
+
+func record(sp *Span) {}
+
+type pending struct{ sp *Span }
+
+// Leaked starts a span and never ends it.
+func Leaked() {
+	sp := StartSpan("op", "client") // want `span sp does not reach End on every path`
+	if sp.Context() == 0 {
+		return
+	}
+}
+
+// MissedOnErrorPath ends the span on success but not on the error
+// return — the classic bug this analyzer exists for.
+func MissedOnErrorPath(fail bool) error {
+	sp := StartSpan("op", "server") // want `span sp does not reach End on every path`
+	if fail {
+		return errBoom
+	}
+	sp.End(nil)
+	return nil
+}
+
+// EndedOnAllPaths ends explicitly on both branches.
+func EndedOnAllPaths(fail bool) error {
+	sp := StartSpan("op", "server")
+	if fail {
+		sp.End(errBoom)
+		return errBoom
+	}
+	sp.End(nil)
+	return nil
+}
+
+// Deferred covers every path with one defer.
+func Deferred(fail bool) error {
+	sp := ContinueSpan("op", "server", 1, 2)
+	defer sp.End(nil)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// Captured hands the span to a closure (the pending-reply-map shape);
+// the closure is trusted to end it.
+func Captured(calls map[int]*pending, done *func(error)) {
+	sp := StartSpan("op", "client")
+	*done = func(err error) { sp.End(err) }
+}
+
+// Escapes hands the span away: returned, stored, passed on — each one
+// someone else's to end.
+func Escapes(which int, calls map[int]*pending) *Span {
+	switch which {
+	case 0:
+		sp := StartSpan("a", "client")
+		return sp
+	case 1:
+		sp := StartSpan("b", "client")
+		calls[1] = &pending{sp: sp}
+	case 2:
+		sp := StartSpan("c", "client")
+		record(sp)
+	}
+	return nil
+}
+
+// ConditionalAcquire builds the span only when traced — the nil-safe
+// End then covers both shapes (the transport server-dispatch pattern).
+func ConditionalAcquire(traced bool) {
+	var sp *Span
+	if traced {
+		sp = ContinueSpan("op", "server", 3, 4)
+	}
+	sp.End(nil)
+}
+
+// SwitchMiss releases in one case but the no-match path falls through
+// with the span live.
+func SwitchMiss(k int) {
+	sp := StartSpan("op", "server") // want `span sp does not reach End on every path`
+	switch k {
+	case 1:
+		sp.End(nil)
+	}
+}
+
+// SwitchCovered has a default, so every path ends the span.
+func SwitchCovered(k int) {
+	sp := StartSpan("op", "server")
+	switch k {
+	case 1:
+		sp.End(errBoom)
+	default:
+		sp.End(nil)
+	}
+}
+
+// LoopLeak mints a fresh span each iteration and ends none of them.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ {
+		sp := SpanFromContext("op", "server", 9) // want `span sp does not reach End on every path`
+		if sp.Context() == 9 {
+			continue
+		}
+	}
+}
+
+// LoopEnded ends each iteration's span before the next.
+func LoopEnded(n int) {
+	for i := 0; i < n; i++ {
+		sp := StartSpan("op", "server")
+		sp.End(nil)
+	}
+}
+
+// Allowed documents an intentional leak.
+//
+//mits:allow spancheck process-lifetime root span, ended at exit elsewhere
+func Allowed() {
+	sp := StartSpan("main", "internal")
+	_ = sp.Context()
+}
+
+// NotASpan looks like a constructor call but the result has no End
+// method; untracked.
+func NotASpan() {
+	v := otherStart("x")
+	_ = v
+}
+
+type plain struct{}
+
+func otherStart(string) *plain { return &plain{} }

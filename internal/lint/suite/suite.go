@@ -15,6 +15,7 @@ import (
 	"mits/internal/lint/logcheck"
 	"mits/internal/lint/poolcheck"
 	"mits/internal/lint/sleepless"
+	"mits/internal/lint/spancheck"
 )
 
 // All returns the analyzers of the MITS correctness suite.
@@ -32,5 +33,6 @@ func All() []*lint.Analyzer {
 		atomicmix.Analyzer,
 		poolcheck.Analyzer,
 		deadlinecheck.Analyzer,
+		spancheck.Analyzer,
 	}
 }

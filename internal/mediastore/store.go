@@ -61,9 +61,10 @@ type Store struct {
 	// increments need no store lock). All stores in a process share
 	// the Default registry, which is what a content server wants: one
 	// exposition covering its whole database.
-	obsGetDoc, obsPutDoc, obsGetContent, obsPutContent *obs.Histogram
-	obsHits, obsMisses, obsBytes                       *obs.Counter
-	obsDocs, obsContents, obsKeywords                  *obs.Gauge
+	obsGetDoc, obsPutDoc, obsGetContent, obsPutContent             *obs.Histogram
+	obsHits, obsMisses, obsBytes                                   *obs.Counter
+	obsErrGetDoc, obsErrPutDoc, obsErrGetContent, obsErrPutContent *obs.Counter
+	obsDocs, obsContents, obsKeywords                              *obs.Gauge
 }
 
 // New creates an empty store.
@@ -79,10 +80,17 @@ func New() *Store {
 		obsPutContent: obs.GetHistogram("mediastore_latency_ns", "op", "put_content"),
 		obsHits:       obs.GetCounter("mediastore_lookup_hits_total"),
 		obsMisses:     obs.GetCounter("mediastore_lookup_misses_total"),
-		obsBytes:      obs.GetCounter("mediastore_bytes_out_total"),
-		obsDocs:       obs.GetGauge("mediastore_documents"),
-		obsContents:   obs.GetGauge("mediastore_content_objects"),
-		obsKeywords:   obs.GetGauge("mediastore_keyword_index_nodes"),
+		// Per-op error counters: a rising get_* rate means dangling
+		// references (a scenario naming content that was never put), a
+		// rising put_* rate a misbehaving author tool.
+		obsErrGetDoc:     obs.GetCounter("mediastore_errors_total", "op", "get_document"),
+		obsErrPutDoc:     obs.GetCounter("mediastore_errors_total", "op", "put_document"),
+		obsErrGetContent: obs.GetCounter("mediastore_errors_total", "op", "get_content"),
+		obsErrPutContent: obs.GetCounter("mediastore_errors_total", "op", "put_content"),
+		obsBytes:         obs.GetCounter("mediastore_bytes_out_total"),
+		obsDocs:          obs.GetGauge("mediastore_documents"),
+		obsContents:      obs.GetGauge("mediastore_content_objects"),
+		obsKeywords:      obs.GetGauge("mediastore_keyword_index_nodes"),
 	}
 }
 
@@ -91,9 +99,11 @@ func New() *Store {
 // anytime", §3.2).
 func (s *Store) PutDocument(name, title, encoding string, data []byte, keywords ...string) (int, error) {
 	if name == "" {
+		s.obsErrPutDoc.Inc()
 		return 0, fmt.Errorf("mediastore: document with empty name")
 	}
 	if len(data) == 0 {
+		s.obsErrPutDoc.Inc()
 		return 0, fmt.Errorf("mediastore: document %q with no data", name)
 	}
 	start := time.Now()
@@ -128,6 +138,7 @@ func (s *Store) GetDocument(name string) (*DocRecord, error) {
 	rec, ok := s.docs[name]
 	if !ok {
 		s.obsMisses.Inc()
+		s.obsErrGetDoc.Inc()
 		return nil, fmt.Errorf("%w: document %q", ErrNotFound, name)
 	}
 	s.obsHits.Inc()
@@ -189,9 +200,11 @@ func (s *Store) Keywords() *KeywordNode {
 // the given reference.
 func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) error {
 	if ref == "" {
+		s.obsErrPutContent.Inc()
 		return fmt.Errorf("mediastore: content with empty reference")
 	}
 	if len(data) == 0 {
+		s.obsErrPutContent.Inc()
 		return fmt.Errorf("mediastore: content %q with no data", ref)
 	}
 	start := time.Now()
@@ -224,6 +237,7 @@ func (s *Store) GetContent(ref string) (*ContentRecord, error) {
 	rec, ok := s.content[ref]
 	if !ok {
 		s.obsMisses.Inc()
+		s.obsErrGetContent.Inc()
 		return nil, fmt.Errorf("%w: content %q", ErrNotFound, ref)
 	}
 	s.obsHits.Inc()

@@ -85,6 +85,17 @@ func (p *StreamPlayer) Finish(frames []media.Frame) *StreamStats {
 		obs.GetCounter("navigator_frames_total").Add(int64(p.stats.Frames))
 		obs.GetCounter("navigator_frames_delivered_total").Add(int64(p.stats.Delivered))
 		obs.GetCounter("navigator_deadline_misses_total").Add(int64(p.stats.DeadlineMisses))
+		// Playback span: carries the deadline-miss verdict into the trace
+		// pipeline, where the collector's tail sampler always retains
+		// misses (obs.DeadlineMissPrefix). Playback runs on virtual time,
+		// so the span's wall duration is incidental — the error is the
+		// signal.
+		sp := obs.StartSpan("navigator.playback", "internal")
+		if p.stats.DeadlineMisses > 0 {
+			sp.End(fmt.Errorf("%s%d of %d frames", obs.DeadlineMissPrefix, p.stats.DeadlineMisses, p.stats.Frames))
+		} else {
+			sp.End(nil)
+		}
 	}()
 	p.stats.Frames = len(frames)
 	if len(frames) == 0 || !p.started {

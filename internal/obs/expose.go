@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 )
@@ -92,18 +93,37 @@ func PublishExpvar() {
 
 // StatsServer is a running stats HTTP endpoint.
 type StatsServer struct {
-	Addr string // bound address, e.g. "127.0.0.1:7122"
-	srv  *http.Server
-	lis  net.Listener
+	Addr        string // bound address, e.g. "127.0.0.1:7122"
+	srv         *http.Server
+	lis         net.Listener
+	stopSampler func()
 }
 
-// Close shuts the endpoint down immediately.
-func (s *StatsServer) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down immediately and stops the runtime
+// sampler feeding its gauges.
+func (s *StatsServer) Close() error {
+	if s.stopSampler != nil {
+		s.stopSampler()
+		s.stopSampler = nil
+	}
+	return s.srv.Close()
+}
 
 // ServeStats exposes the Default registry over HTTP on addr
 // ("127.0.0.1:0" picks a free port): GET /stats returns the text
-// exposition, /debug/vars the expvar mirror, /healthz a bare 200.
+// exposition, /metrics the Prometheus text format, /debug/vars the
+// expvar mirror, /debug/pprof/* the runtime profiles, /healthz a bare
+// 200. While the server runs, a background sampler publishes the
+// runtime_* gauges and the runtime_gc_pause_ns histogram.
 func ServeStats(addr string) (*StatsServer, error) {
+	return ServeStatsMux(addr, nil)
+}
+
+// ServeStatsMux is ServeStats with a mount hook: when non-nil, mount
+// runs on the endpoint's mux before serving starts, so a caller can
+// attach extra views (the trace collector mounts /traces here) on the
+// same port.
+func ServeStatsMux(addr string, mount func(*http.ServeMux)) (*StatsServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: stats listen: %w", err)
@@ -111,10 +131,23 @@ func ServeStats(addr string) (*StatsServer, error) {
 	PublishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/stats", Default.Handler())
+	mux.Handle("/metrics", Default.PromHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	// pprof registers on http.DefaultServeMux via init; this server uses
+	// its own mux, so mount the handlers explicitly. Note the server's
+	// WriteTimeout below caps profile collection — use e.g.
+	// /debug/pprof/profile?seconds=5 rather than the 30s default.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	if mount != nil {
+		mount(mux)
+	}
 	s := &StatsServer{
 		Addr: lis.Addr().String(),
 		// Full timeout set: without Read/Write/Idle timeouts a client
@@ -130,6 +163,7 @@ func ServeStats(addr string) (*StatsServer, error) {
 		},
 		lis: lis,
 	}
+	s.stopSampler = startRuntimeSampler(Default, runtimeSampleInterval)
 	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }

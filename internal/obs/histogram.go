@@ -29,15 +29,25 @@ var bucketBounds = func() [numBuckets]time.Duration {
 // trade-off.
 type Histogram struct {
 	name    string
+	base    string
+	labels  []string
 	buckets [numBuckets + 1]atomic.Int64 // +1 = overflow
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 }
 
-func newHistogram(name string) *Histogram { return &Histogram{name: name} }
+func newHistogram(name, base string, labels []string) *Histogram {
+	return &Histogram{name: name, base: base, labels: labels}
+}
 
 // Name reports the full exposition name.
 func (h *Histogram) Name() string { return h.name }
+
+// Base reports the metric name without labels.
+func (h *Histogram) Base() string { return h.base }
+
+// Labels reports the alternating key/value label pairs.
+func (h *Histogram) Labels() []string { return h.labels }
 
 // bucketFor returns the index of the bucket owning duration d.
 func bucketFor(d time.Duration) int {

@@ -29,6 +29,13 @@ type Registry struct {
 	spanHead int                 // next write position
 	spanLen  int
 
+	// spanHists caches span_ns histogram handles per (name, kind), so
+	// Span.End skips label rendering and the registry lock (see
+	// spanHist). spanSink, when set, receives every finished span — the
+	// exporter tap (see SetSpanSink).
+	spanHists sync.Map // "name\x00kind" → *Histogram
+	spanSink  atomic.Pointer[func(*Span)]
+
 	logState // see log.go
 }
 
@@ -81,6 +88,17 @@ func metricName(name string, labels []string) string {
 	return b.String()
 }
 
+// copyLabels snapshots the complete key/value pairs of a labels slice
+// (a dangling odd key is dropped, matching metricName) so a metric
+// never aliases a caller's mutable slice.
+func copyLabels(labels []string) []string {
+	n := len(labels) &^ 1
+	if n == 0 {
+		return nil
+	}
+	return append([]string(nil), labels[:n]...)
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
 	full := metricName(name, labels)
@@ -95,7 +113,7 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if c, ok = r.counters[full]; ok {
 		return c
 	}
-	c = &Counter{name: full}
+	c = &Counter{name: full, base: name, labels: copyLabels(labels)}
 	r.counters[full] = c
 	return c
 }
@@ -114,7 +132,7 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if g, ok = r.gauges[full]; ok {
 		return g
 	}
-	g = &Gauge{name: full}
+	g = &Gauge{name: full, base: name, labels: copyLabels(labels)}
 	r.gauges[full] = g
 	return g
 }
@@ -134,7 +152,7 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	if h, ok = r.hists[full]; ok {
 		return h
 	}
-	h = newHistogram(full)
+	h = newHistogram(full, name, copyLabels(labels))
 	r.hists[full] = h
 	return h
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampleInterval is how often the stats server refreshes the
+// runtime_* gauges. Five seconds keeps the gauges fresh for a scraper
+// on the usual 10–15s interval while costing one ReadMemStats per
+// tick.
+const runtimeSampleInterval = 5 * time.Second
+
+// runtimeSampler periodically publishes Go runtime health into a
+// registry: goroutine count, heap and sys bytes, GC cycle count, and
+// every individual GC pause as a runtime_gc_pause_ns histogram sample
+// (so the exposition's p99 is a true pause p99, not a point reading).
+type runtimeSampler struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	sysBytes   *Gauge
+	gcCount    *Gauge
+	gcPause    *Histogram
+
+	lastGC uint32 // NumGC as of the previous sample
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startRuntimeSampler begins sampling into r and returns a stop
+// function (idempotent via the caller's discipline: ServeStats ties it
+// to StatsServer.Close). One sample is taken synchronously so the
+// gauges are populated before the first scrape can land.
+func startRuntimeSampler(r *Registry, interval time.Duration) func() {
+	s := &runtimeSampler{
+		goroutines: r.Gauge("runtime_goroutines"),
+		heapAlloc:  r.Gauge("runtime_heap_alloc_bytes"),
+		sysBytes:   r.Gauge("runtime_sys_bytes"),
+		gcCount:    r.Gauge("runtime_gc_count"),
+		gcPause:    r.Histogram("runtime_gc_pause_ns"),
+		quit:       make(chan struct{}),
+	}
+	s.sample()
+	s.wg.Add(1)
+	go s.loop(interval)
+	return func() {
+		close(s.quit)
+		s.wg.Wait()
+	}
+}
+
+func (s *runtimeSampler) loop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *runtimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.sysBytes.Set(int64(ms.Sys))
+	s.gcCount.Set(int64(ms.NumGC))
+
+	// Feed each GC pause since the last sample into the histogram.
+	// PauseNs is a ring of the last 256 pauses indexed by (cycle-1)%256;
+	// if more than 256 cycles elapsed between samples the overwritten
+	// ones are simply lost — acceptable for a 5s cadence.
+	start := s.lastGC
+	if ms.NumGC > 256 && ms.NumGC-256 > start {
+		start = ms.NumGC - 256
+	}
+	for c := start; c < ms.NumGC; c++ {
+		s.gcPause.Observe(time.Duration(ms.PauseNs[c%256]))
+	}
+	s.lastGC = ms.NumGC
+}

@@ -22,6 +22,44 @@ type SpanID uint64
 // String renders the 16-hex-digit form.
 func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
 
+// DeadlineMissPrefix marks a span error recording missed soft
+// real-time deadlines rather than a failure: stream playback that
+// finished, but late. The trace collector's tail sampler treats such
+// traces as always worth retaining, same as errors.
+const DeadlineMissPrefix = "deadline-miss: "
+
+// SpanContext is the propagation half of a span: the trace it belongs
+// to and the span that parents whatever continues the work on the far
+// side of a hop. The transport carries it in the frame header; servers
+// hand it to trace-aware handlers so a nested RPC lands in the same
+// trace as the request that caused it. The zero value means "no trace
+// in progress".
+type SpanContext struct {
+	Trace  TraceID
+	Parent SpanID
+}
+
+// Context returns the span's propagation context — what a nested call
+// should continue under. Nil spans yield the zero context, so untraced
+// paths need no branches.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.Trace, Parent: s.ID}
+}
+
+// SpanFromContext opens a child span under sc in the Default registry,
+// or returns nil (a no-op span) when sc carries no trace — the idiom
+// for instrumenting internal work only when somebody upstream is
+// actually tracing the request.
+func SpanFromContext(name, kind string, sc SpanContext) *Span {
+	if sc.Trace == 0 {
+		return nil
+	}
+	return Default.ContinueSpan(name, kind, sc.Trace, sc.Parent)
+}
+
 // Span is one timed operation within a trace: an RPC issue on the
 // client, its handling on the server, a database lookup beneath it.
 // Spans are cheap (no allocation beyond the struct) and must be closed
@@ -89,8 +127,23 @@ func (s *Span) End(err error) {
 	if err != nil {
 		s.Err = err.Error()
 	}
-	s.reg.Histogram("span_ns", "span", s.Name, "kind", s.Kind).Observe(s.Dur)
+	s.reg.spanHist(s.Name, s.Kind).Observe(s.Dur)
 	s.reg.recordSpan(s)
+}
+
+// spanHist resolves the span_ns histogram for a (name, kind) pair
+// through a lock-free cache: Span.End sits on every RPC completion,
+// and without the cache each End would re-render the label string and
+// take the registry lock. The first End for a pair pays the full
+// lookup; every later one is a sync.Map read.
+func (r *Registry) spanHist(name, kind string) *Histogram {
+	key := name + "\x00" + kind
+	if h, ok := r.spanHists.Load(key); ok {
+		return h.(*Histogram)
+	}
+	h := r.Histogram("span_ns", "span", name, "kind", kind)
+	r.spanHists.Store(key, h)
+	return h
 }
 
 func (r *Registry) recordSpan(s *Span) {
@@ -101,6 +154,28 @@ func (r *Registry) recordSpan(s *Span) {
 		r.spanLen++
 	}
 	r.spanMu.Unlock()
+	// The sink (a span exporter, when one is attached) runs outside the
+	// ring lock and is required to be non-blocking: End is on the RPC
+	// hot path.
+	if fn := r.spanSink.Load(); fn != nil {
+		(*fn)(s)
+	}
+}
+
+// SetSpanSink installs fn to be called with every span finished in
+// this registry — the tap a trace exporter hangs off. fn runs on the
+// goroutine calling Span.End and therefore must never block (enqueue
+// and drop, don't wait). A nil fn detaches the sink.
+func (r *Registry) SetSpanSink(fn func(*Span)) {
+	if fn == nil {
+		r.spanSink.Store(nil)
+		return
+	}
+	// Func values cannot live in an atomic.Pointer directly, so a copy
+	// is boxed and only the pointer is ever shared; the write below
+	// publishes it before any reader can hold the address.
+	sink := fn //mits:allow atomicmix boxed before publication, never touched again
+	r.spanSink.Store(&sink)
 }
 
 // Spans returns the finished spans still in the ring buffer, oldest

@@ -8,6 +8,7 @@ import (
 
 	"mits/internal/cache"
 	"mits/internal/mediastore"
+	"mits/internal/obs"
 )
 
 // Method names of the courseware-database service. GetListDoc and
@@ -59,12 +60,16 @@ func RegisterStore(m *Mux, store *mediastore.Store) {
 	m.Register(MethodListDocs, func(_ string, _ []byte) ([]byte, error) {
 		return gobEncode(store.ListDocuments())
 	})
-	m.Register(MethodGetDoc, func(_ string, payload []byte) ([]byte, error) {
+	m.RegisterCtx(MethodGetDoc, func(sc obs.SpanContext, _ string, payload []byte) ([]byte, error) {
 		var req getDocReq
 		if err := gobDecode(payload, &req); err != nil {
 			return nil, err
 		}
+		// Internal span: separates time in the store itself from the
+		// transport around it when the request is traced.
+		sp := obs.SpanFromContext("store.GetDocument", "internal", sc)
 		rec, err := store.GetDocument(req.Name)
+		sp.End(err)
 		if err != nil {
 			return nil, err
 		}
@@ -80,12 +85,14 @@ func RegisterStore(m *Mux, store *mediastore.Store) {
 		}
 		return gobEncode(store.DocsByKeyword(req.Keyword))
 	})
-	m.Register(MethodGetContent, func(_ string, payload []byte) ([]byte, error) {
+	m.RegisterCtx(MethodGetContent, func(sc obs.SpanContext, _ string, payload []byte) ([]byte, error) {
 		var req getContentReq
 		if err := gobDecode(payload, &req); err != nil {
 			return nil, err
 		}
+		sp := obs.SpanFromContext("store.GetContent", "internal", sc)
 		rec, err := store.GetContent(req.Ref)
+		sp.End(err)
 		if err != nil {
 			return nil, err
 		}
@@ -144,6 +151,11 @@ type DBClient struct {
 	// corrupting the shared cache. Nil means every call goes upstream
 	// (the experiments keep it nil so store read counts stay exact).
 	ContentCache *cache.Cache
+
+	// Trace, when non-zero, is the span context every call continues —
+	// a trace-aware handler forwarding work upstream sets it per request
+	// (via WithTrace) so the whole multi-hop path shares one trace.
+	Trace obs.SpanContext
 }
 
 // WithContentCache returns a copy of the client that serves content
@@ -153,9 +165,21 @@ func (d DBClient) WithContentCache(c *cache.Cache) DBClient {
 	return d
 }
 
+// WithTrace returns a copy of the client whose calls continue sc.
+func (d DBClient) WithTrace(sc obs.SpanContext) DBClient {
+	d.Trace = sc
+	return d
+}
+
+// call issues one RPC through the carrier; the zero Trace context
+// makes it an ordinary Call on every carrier.
+func (d DBClient) call(method string, payload []byte) ([]byte, error) {
+	return CallInTrace(d.C, d.Trace, method, payload)
+}
+
 // GetListDoc returns the stored document names.
 func (d DBClient) GetListDoc() ([]string, error) {
-	payload, err := d.C.Call(MethodListDocs, nil)
+	payload, err := d.call(MethodListDocs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +193,7 @@ func (d DBClient) GetSelectedDoc(name string) (*mediastore.DocRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.C.Call(MethodGetDoc, req)
+	payload, err := d.call(MethodGetDoc, req)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +203,7 @@ func (d DBClient) GetSelectedDoc(name string) (*mediastore.DocRecord, error) {
 
 // GetKeywordTree retrieves the library's keyword hierarchy.
 func (d DBClient) GetKeywordTree() (*mediastore.KeywordNode, error) {
-	payload, err := d.C.Call(MethodKeywordTree, nil)
+	payload, err := d.call(MethodKeywordTree, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +217,7 @@ func (d DBClient) GetDocByKeyword(keyword string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.C.Call(MethodDocByKeyword, req)
+	payload, err := d.call(MethodDocByKeyword, req)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +251,7 @@ func (d DBClient) fetchContent(ref string) (*mediastore.ContentRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.C.Call(MethodGetContent, req)
+	payload, err := d.call(MethodGetContent, req)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +274,7 @@ func (d DBClient) PutDocument(name, title, encoding string, data []byte, keyword
 	if err != nil {
 		return 0, err
 	}
-	payload, err := d.C.Call(MethodPutDoc, req)
+	payload, err := d.call(MethodPutDoc, req)
 	if err != nil {
 		return 0, err
 	}
@@ -264,7 +288,7 @@ func (d DBClient) PutContent(ref, coding string, data []byte, keywords ...string
 	if err != nil {
 		return err
 	}
-	_, err = d.C.Call(MethodPutContent, req)
+	_, err = d.call(MethodPutContent, req)
 	return err
 }
 
@@ -290,6 +314,43 @@ func NewResilientDBClient(peer string, dial Dialer, policy RetryPolicy, threshol
 	br := NewBreaker(peer, threshold, cooldown)
 	rc := NewRetryClient(dial, policy, seed)
 	return DBClient{C: WithBreaker(rc, br)}, br
+}
+
+// ForwardHandler serves the courseware-database service by proxying to
+// an upstream site through a DBClient — the edge node of a multi-hop
+// delivery path (navigator → edge cache → store). It is trace-aware:
+// the span context of the incoming request threads into every upstream
+// call, so one trace spans all hops. GetContent goes through the
+// client's typed path (and therefore its content cache, when one is
+// attached); every other method forwards raw bytes.
+type ForwardHandler struct {
+	DB DBClient
+}
+
+// Handle implements Handler (untraced requests).
+func (f ForwardHandler) Handle(method string, payload []byte) ([]byte, error) {
+	return f.HandleCtx(obs.SpanContext{}, method, payload)
+}
+
+// HandleCtx implements CtxHandler.
+func (f ForwardHandler) HandleCtx(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	d := f.DB.WithTrace(sc)
+	if method == MethodGetContent && d.ContentCache != nil {
+		var req getContentReq
+		if err := gobDecode(payload, &req); err != nil {
+			return nil, err
+		}
+		rec, err := d.GetContent(req.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(rec)
+	}
+	// The server recycles the request buffer when this handler returns,
+	// but a timed-out upstream call can leave its frame queued behind
+	// the upstream writer still referencing payload — forward a private
+	// copy.
+	return d.call(method, append([]byte(nil), payload...))
 }
 
 // NewCachedResilientDBClient is NewResilientDBClient with a content

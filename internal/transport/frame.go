@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"mits/internal/obs"
 )
 
 // MaxFrame bounds a single message; large content is chunked by the
@@ -204,22 +206,49 @@ func (f HandlerFunc) Handle(method string, payload []byte) ([]byte, error) {
 	return f(method, payload)
 }
 
+// CtxHandler is the trace-aware handler contract: HandleCtx receives
+// the span context of the server span opened for the request (zero
+// when the request is untraced), so nested work — an internal span, a
+// further RPC to another site — lands in the same trace. The TCP
+// server and the loopback carrier probe for it once and fall back to
+// Handler when absent, so trace-blind handlers keep working unchanged.
+type CtxHandler interface {
+	HandleCtx(sc obs.SpanContext, method string, payload []byte) ([]byte, error)
+}
+
+// CtxHandlerFunc adapts a function to CtxHandler.
+type CtxHandlerFunc func(sc obs.SpanContext, method string, payload []byte) ([]byte, error)
+
+// HandleCtx implements CtxHandler.
+func (f CtxHandlerFunc) HandleCtx(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	return f(sc, method, payload)
+}
+
 // ErrUnknownMethod is returned by Mux for unregistered methods.
 var ErrUnknownMethod = errors.New("transport: unknown method")
 
 // Mux dispatches requests by method name. The zero value is unusable;
 // create with NewMux. Registration happens at server start-up; serving
-// is concurrent-safe because the map is read-only afterwards.
+// is concurrent-safe because the map is read-only afterwards. Routes
+// are context-aware internally; Register wraps a trace-blind handler,
+// RegisterCtx mounts one that threads the span context onward.
 type Mux struct {
-	routes map[string]HandlerFunc
+	routes map[string]CtxHandlerFunc
 }
 
 // NewMux returns an empty mux.
-func NewMux() *Mux { return &Mux{routes: make(map[string]HandlerFunc)} }
+func NewMux() *Mux { return &Mux{routes: make(map[string]CtxHandlerFunc)} }
 
 // Register adds a method handler; re-registering a method panics (it is
 // always a wiring bug).
 func (m *Mux) Register(method string, h HandlerFunc) {
+	m.RegisterCtx(method, func(_ obs.SpanContext, method string, payload []byte) ([]byte, error) {
+		return h(method, payload)
+	})
+}
+
+// RegisterCtx adds a trace-aware method handler.
+func (m *Mux) RegisterCtx(method string, h CtxHandlerFunc) {
 	if _, dup := m.routes[method]; dup {
 		panic("transport: duplicate method " + method)
 	}
@@ -228,17 +257,42 @@ func (m *Mux) Register(method string, h HandlerFunc) {
 
 // Handle implements Handler.
 func (m *Mux) Handle(method string, payload []byte) ([]byte, error) {
+	return m.HandleCtx(obs.SpanContext{}, method, payload)
+}
+
+// HandleCtx implements CtxHandler.
+func (m *Mux) HandleCtx(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
 	h, ok := m.routes[method]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
-	return h(method, payload)
+	return h(sc, method, payload)
 }
 
 // Client is a synchronous request issuer (TCP and loopback carriers).
 type Client interface {
 	Call(method string, payload []byte) ([]byte, error)
 	Close() error
+}
+
+// TraceCaller is the client-side half of trace propagation: a client
+// that can issue a call whose client span continues an existing trace
+// rather than opening a fresh one. All carriers in this package
+// implement it; the package-level CallInTrace probes for it so callers
+// degrade gracefully over a plain Client.
+type TraceCaller interface {
+	CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error)
+}
+
+// CallInTrace issues a call continuing the trace in sc when the client
+// supports it, falling back to an ordinary (fresh-trace or untraced)
+// Call when it does not. A zero sc behaves exactly like Call on every
+// carrier.
+func CallInTrace(c Client, sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	if tc, ok := c.(TraceCaller); ok {
+		return tc.CallInTrace(sc, method, payload)
+	}
+	return c.Call(method, payload)
 }
 
 // Loopback adapts a Handler into an in-process Client, used by unit
@@ -248,6 +302,16 @@ type Loopback struct{ H Handler }
 
 // Call implements Client.
 func (l Loopback) Call(method string, payload []byte) ([]byte, error) {
+	return l.H.Handle(method, payload)
+}
+
+// CallInTrace implements TraceCaller: the context reaches a trace-aware
+// handler directly — no wire hop, no client/server span pair, matching
+// the carrier's in-process nature.
+func (l Loopback) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	if ch, ok := l.H.(CtxHandler); ok {
+		return ch.HandleCtx(sc, method, payload)
+	}
 	return l.H.Handle(method, payload)
 }
 

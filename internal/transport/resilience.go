@@ -52,15 +52,23 @@ func (e *CallError) Error() string {
 // Unwrap exposes the cause to errors.Is/As.
 func (e *CallError) Unwrap() error { return e.Err }
 
+// MethodObsExport ships a batch of finished trace spans to a collector
+// (see internal/obs/collect). Declared here rather than in dbapi.go
+// because it is a transport-infrastructure method, not a courseware
+// one.
+const MethodObsExport = "obs.Export"
+
 // idempotentMethods are the read-only courseware-database methods: a
 // duplicate delivery changes nothing, so they are safe to retry after
-// a failure whose outcome is unknown.
+// a failure whose outcome is unknown. Span export rides along: the
+// collector dedupes spans by ID, so a duplicate batch is absorbed.
 var idempotentMethods = map[string]bool{
 	MethodListDocs:     true,
 	MethodGetDoc:       true,
 	MethodKeywordTree:  true,
 	MethodDocByKeyword: true,
 	MethodGetContent:   true,
+	MethodObsExport:    true,
 }
 
 // IsIdempotent reports whether method is safe to retry blindly.
@@ -177,6 +185,17 @@ func NewRetryClient(dial Dialer, policy RetryPolicy, seed uint64) *RetryClient {
 
 // Call implements Client with the retry loop.
 func (r *RetryClient) Call(method string, payload []byte) ([]byte, error) {
+	return r.call(obs.SpanContext{}, method, payload)
+}
+
+// CallInTrace implements TraceCaller: each attempt's client span
+// continues the caller's trace, so retries appear as sibling spans
+// under the same parent.
+func (r *RetryClient) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	return r.call(sc, method, payload)
+}
+
+func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
 	p := r.policy
 	var lastErr error
 	for attempt := 1; attempt <= p.Attempts; attempt++ {
@@ -195,7 +214,7 @@ func (r *RetryClient) Call(method string, payload []byte) ([]byte, error) {
 			lastErr = fmt.Errorf("%w: %w", ErrDial, err)
 			continue // nothing was sent: always safe to retry
 		}
-		out, err := cl.Call(method, payload)
+		out, err := CallInTrace(cl, sc, method, payload)
 		if err == nil {
 			if attempt > 1 {
 				obs.GetCounter("transport_retry_recoveries_total", "method", method).Inc()
@@ -421,10 +440,20 @@ func WithBreaker(c Client, b *Breaker) *BreakerClient {
 
 // Call implements Client: fast-fail while open, record outcomes.
 func (bc *BreakerClient) Call(method string, payload []byte) ([]byte, error) {
+	return bc.call(obs.SpanContext{}, method, payload)
+}
+
+// CallInTrace implements TraceCaller, threading the trace through to
+// the guarded client.
+func (bc *BreakerClient) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	return bc.call(sc, method, payload)
+}
+
+func (bc *BreakerClient) call(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
 	if err := bc.b.Allow(); err != nil {
 		return nil, &CallError{Method: method, Err: err}
 	}
-	out, err := bc.c.Call(method, payload)
+	out, err := CallInTrace(bc.c, sc, method, payload)
 	var remote *RemoteError
 	if err != nil && errors.As(err, &remote) {
 		bc.b.Record(nil)

@@ -156,6 +156,10 @@ func readBody(r io.Reader, n int, pooled bool) ([]byte, error) {
 type TCPServer struct {
 	handler Handler
 
+	// ctxHandler is handler's CtxHandler view, probed once at
+	// construction; nil for trace-blind handlers.
+	ctxHandler CtxHandler
+
 	// ConnTimeout, when set, bounds each frame read and write on every
 	// connection (a per-operation deadline): a stalled or vanished
 	// client cannot pin a serving goroutine forever. It also acts as
@@ -182,9 +186,12 @@ type TCPServer struct {
 // that a misbehaving client cannot fork-bomb the server.
 const DefaultMaxInFlight = 32
 
-// NewTCPServer wraps a handler.
+// NewTCPServer wraps a handler. When h also implements CtxHandler, the
+// server threads each request's trace context through HandleCtx so
+// nested RPCs stay in the caller's trace.
 func NewTCPServer(h Handler) *TCPServer {
-	return &TCPServer{handler: h, conns: make(map[net.Conn]bool)}
+	ch, _ := h.(CtxHandler)
+	return &TCPServer{handler: h, ctxHandler: ch, conns: make(map[net.Conn]bool)}
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for tests) and returns
@@ -324,7 +331,15 @@ func (s *TCPServer) handleRequest(conn net.Conn, writeMu *sync.Mutex, req *frame
 		sp = obs.ContinueSpan(req.method, "server", obs.TraceID(req.trace), obs.SpanID(req.span))
 	}
 	start := time.Now()
-	payload, herr := s.handler.Handle(req.method, req.payload)
+	var payload []byte
+	var herr error
+	if s.ctxHandler != nil {
+		// sp.Context() parents nested work under the server span; it is
+		// the zero context (untraced) when sp is nil.
+		payload, herr = s.ctxHandler.HandleCtx(sp.Context(), req.method, req.payload)
+	} else {
+		payload, herr = s.handler.Handle(req.method, req.payload)
+	}
 	obs.Observe("transport_server_latency_ns", time.Since(start), "method", req.method)
 	obs.GetCounter("transport_server_rpcs_total", "method", req.method).Inc()
 	if herr != nil {
@@ -480,7 +495,21 @@ func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 // trace whose IDs ride the frame header, so the server's span lands in
 // the same trace as the client's.
 func (c *TCPClient) CallTraced(method string, payload []byte) ([]byte, obs.TraceID, error) {
-	sp := obs.StartSpan(method, "client")
+	return c.callSpan(obs.StartSpan(method, "client"), method, payload)
+}
+
+// CallInTrace implements TraceCaller: the client span continues the
+// trace in sc (parented under sc.Parent) instead of opening a fresh
+// one, so a server handling a request can fan out to another site
+// within the same trace. A zero sc degenerates to CallTraced.
+func (c *TCPClient) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	out, _, err := c.callSpan(obs.Default.ContinueSpan(method, "client", sc.Trace, sc.Parent), method, payload)
+	return out, err
+}
+
+// callSpan issues the call under an already-opened client span and
+// settles the span and the per-method metrics.
+func (c *TCPClient) callSpan(sp *obs.Span, method string, payload []byte) ([]byte, obs.TraceID, error) {
 	c.lastTrace.Store(uint64(sp.Trace))
 	payload, err := c.issue(sp, method, payload)
 	sp.End(err)

@@ -34,17 +34,23 @@ for target in \
 	go test -fuzz="$fuzz" -fuzztime=10s "$pkg"
 done
 
-# Observability gate: the obs package under the race detector, the
-# end-to-end traced-RPC smoke (TCP round trip + stats scrape), and the
-# transport latency baseline written to BENCH_obs.json.
-echo "==> go test -race ./internal/obs/"
-go test -race ./internal/obs/
+# Observability gate: the obs and collector packages under the race
+# detector, the two-leg smoke (traced-RPC stats scrape, then the
+# three-node trace pipeline checked over the collector's HTTP views),
+# the E30 cross-site trace experiment (critical path localizes an
+# injected store stall), and the overhead benchmarks written to
+# BENCH_obs.json (export overhead must stay under 5%).
+echo "==> go test -race ./internal/obs/..."
+go test -race ./internal/obs/...
 
 echo "==> go run ./cmd/obssmoke"
 go run ./cmd/obssmoke
 
-echo "==> go test -run=NONE -bench=BenchmarkE27 ."
-go test -run=NONE -bench=BenchmarkE27 .
+echo "==> go test -race -run 'TestAllExperimentsPassShapeChecks/E30' -v ./internal/experiments/"
+go test -race -run 'TestAllExperimentsPassShapeChecks/E30' -v ./internal/experiments/
+
+echo "==> scripts/bench_obs.sh"
+./scripts/bench_obs.sh
 
 # Chaos gate: the E28 fault matrix re-run under the race detector (it
 # already ran once inside `go test -race ./...` above; the explicit -v

@@ -65,9 +65,17 @@ func TestExporterShipsFinishedSpans(t *testing.T) {
 	if len(spans) != 2 {
 		t.Fatalf("exported %d spans, want 2", len(spans))
 	}
-	if spans[0].Site != "navigator" || spans[0].Trace != uint64(sp.Trace) {
-		t.Errorf("span[0] = %+v, want site navigator trace %x", spans[0], uint64(sp.Trace))
+	if spans[0].Trace != uint64(sp.Trace) {
+		t.Errorf("span[0] = %+v, want trace %x", spans[0], uint64(sp.Trace))
 	}
+	if spans[0].Site != "" {
+		t.Errorf("record Site = %q on the wire, want blank (batch header carries it)", spans[0].Site)
+	}
+	cap.mu.Lock()
+	if got := cap.batches[0].Site; got != "navigator" {
+		t.Errorf("Batch.Site = %q, want navigator", got)
+	}
+	cap.mu.Unlock()
 	if spans[1].Err != "boom" {
 		t.Errorf("span[1].Err = %q, want boom", spans[1].Err)
 	}
@@ -90,6 +98,33 @@ func TestExporterFiltersOwnExportSpans(t *testing.T) {
 	}
 	if n := len(cap.spans()); n != 1 {
 		t.Errorf("exported %d spans, want 1", n)
+	}
+}
+
+// TestExporterBatchSiteDefaultsToRegistry pins that when the Site
+// option is left empty, the wire batch header carries the registry's
+// SetSite value (records travel with a blank Site; the collector
+// unfolds the header onto them).
+func TestExporterBatchSiteDefaultsToRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetSite("schoolsrv")
+	cap := &captureClient{}
+	e := StartExporter(reg, cap, ExporterOptions{})
+	defer e.Close()
+
+	reg.StartSpan("op", "client").End(nil)
+	e.Flush()
+
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.batches) != 1 {
+		t.Fatalf("shipped %d batches, want 1", len(cap.batches))
+	}
+	if got := cap.batches[0].Site; got != "schoolsrv" {
+		t.Errorf("Batch.Site = %q, want schoolsrv (registry default)", got)
+	}
+	if got := cap.batches[0].Spans[0].Site; got != "" {
+		t.Errorf("record Site = %q on the wire, want blank (header carries it)", got)
 	}
 }
 
@@ -128,6 +163,47 @@ type blockingClient struct{ blocked chan struct{} }
 
 func (b blockingClient) Call(string, []byte) ([]byte, error) { <-b.blocked; return nil, nil }
 func (b blockingClient) Close() error                        { return nil }
+
+// TestBatchWireRoundTrip pins the binary batch codec: every field
+// survives, and malformed payloads (truncation anywhere, a bogus
+// version, an absurd span count) error instead of panicking or
+// over-allocating.
+func TestBatchWireRoundTrip(t *testing.T) {
+	in := Batch{Site: "schoolsrv", Spans: []SpanRecord{
+		{Trace: 1, ID: 2, Parent: 3, Name: "db.GetContent", Kind: "client",
+			Site: "navigator", Err: "", StartNS: -5, DurNS: 1 << 40},
+		{Trace: ^uint64(0), ID: 1, Parent: 0, Name: "", Kind: "server",
+			Site: "store", Err: obs.DeadlineMissPrefix + "3 of 40", StartNS: 1 << 60, DurNS: 0},
+	}}
+	data, err := encodeBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Site != in.Site || len(out.Spans) != len(in.Spans) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	for i := range in.Spans {
+		if out.Spans[i] != in.Spans[i] {
+			t.Errorf("span %d = %+v, want %+v", i, out.Spans[i], in.Spans[i])
+		}
+	}
+
+	if _, err := decodeBatch(nil); err == nil {
+		t.Error("empty payload decoded without error")
+	}
+	if _, err := decodeBatch([]byte{99}); err == nil {
+		t.Error("unknown version decoded without error")
+	}
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := decodeBatch(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(data))
+		}
+	}
+}
 
 // mkspan builds a SpanRecord tree node for collector tests.
 func mkspan(trace, id, parent uint64, name, kind, site string, start, dur time.Duration) SpanRecord {
@@ -218,6 +294,69 @@ func TestCollectorTailSampling(t *testing.T) {
 	}
 }
 
+// TestCollectorStragglerMergesIntoRetained is the regression for a
+// late export retry (the 2s call timeout outlives the 1s
+// CompleteAfter) re-finalizing an already-retained trace: the
+// straggler's spans alone must never replace the complete tree —
+// re-finalize merges, so a retained trace only ever gains spans.
+func TestCollectorStragglerMergesIntoRetained(t *testing.T) {
+	c := NewCollector(RetainPolicy{SlowThreshold: 50 * time.Millisecond, SampleRate: 0})
+	c.Add(Batch{Spans: []SpanRecord{
+		mkspan(7, 1, 0, "db.GetContent", "client", "navigator", 0, 100*time.Millisecond),
+		mkspan(7, 2, 1, "db.GetContent", "server", "store", time.Millisecond, 90*time.Millisecond),
+	}})
+	c.Sweep(0)
+	if tr := c.Get(obs.TraceID(7)); tr == nil || len(tr.Spans) != 2 {
+		t.Fatalf("setup: trace not retained with 2 spans: %+v", tr)
+	}
+
+	// The straggler: a retried delivery carrying one dup and one span
+	// the first finalize never saw.
+	c.Add(Batch{Spans: []SpanRecord{
+		mkspan(7, 2, 1, "db.GetContent", "server", "store", time.Millisecond, 90*time.Millisecond),
+		mkspan(7, 3, 2, "store.ReadBlock", "internal", "store", 2*time.Millisecond, 80*time.Millisecond),
+	}})
+	c.Sweep(0)
+
+	tr := c.Get(obs.TraceID(7))
+	if tr == nil {
+		t.Fatal("trace lost after straggler re-finalize")
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("re-finalized trace holds %d spans, want 3 (merged, not replaced)", len(tr.Spans))
+	}
+	if tr.Root == nil || tr.Root.ID != 1 {
+		t.Errorf("root = %+v, want original span 1", tr.Root)
+	}
+	if tr.Reason != "slow" {
+		t.Errorf("reason = %q, want slow preserved across re-finalize", tr.Reason)
+	}
+	if n := len(c.Retained()); n != 1 {
+		t.Errorf("recorder holds %d traces, want 1 (in-place replacement)", n)
+	}
+}
+
+// TestCollectorStragglerUpgradesReason: when the late spans carry the
+// error the first pass never saw, the retained reason upgrades.
+func TestCollectorStragglerUpgradesReason(t *testing.T) {
+	c := NewCollector(RetainPolicy{SlowThreshold: 50 * time.Millisecond, SampleRate: 0})
+	c.Add(Batch{Spans: []SpanRecord{
+		mkspan(8, 1, 0, "op", "client", "n", 0, time.Hour),
+	}})
+	c.Sweep(0)
+	if tr := c.Get(obs.TraceID(8)); tr == nil || tr.Reason != "slow" {
+		t.Fatalf("setup: trace = %+v, want retained as slow", tr)
+	}
+
+	late := mkspan(8, 2, 1, "op", "server", "m", time.Millisecond, time.Minute)
+	late.Err = "disk failure"
+	c.Add(Batch{Spans: []SpanRecord{late}})
+	c.Sweep(0)
+	if tr := c.Get(obs.TraceID(8)); tr == nil || tr.Reason != "error" {
+		t.Errorf("trace = %+v, want reason upgraded to error", tr)
+	}
+}
+
 func TestCollectorRecorderBounded(t *testing.T) {
 	c := NewCollector(RetainPolicy{RecorderSize: 3, SampleRate: 1})
 	for i := uint64(1); i <= 5; i++ {
@@ -260,6 +399,11 @@ func TestCollectorOverTransportAndViews(t *testing.T) {
 	}
 	if len(tr.Spans) != 2 {
 		t.Fatalf("collected %d spans, want 2", len(tr.Spans))
+	}
+	for i := range tr.Spans {
+		if tr.Spans[i].Site != "navigator" {
+			t.Errorf("span %d Site = %q, want navigator (unfolded from batch header)", i, tr.Spans[i].Site)
+		}
 	}
 
 	webmux := http.NewServeMux()

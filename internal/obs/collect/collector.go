@@ -1,8 +1,6 @@
 package collect
 
 import (
-	"bytes"
-	"encoding/gob"
 	"sort"
 	"strings"
 	"sync"
@@ -12,19 +10,6 @@ import (
 	"mits/internal/sim"
 	"mits/internal/transport"
 )
-
-func encodeBatch(b Batch) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeBatch(data []byte) (Batch, error) {
-	var b Batch
-	return b, gob.NewDecoder(bytes.NewReader(data)).Decode(&b)
-}
 
 // RetainPolicy is the collector's tail-sampling decision: which
 // finalized traces enter the flight recorder. A trace is ALWAYS
@@ -83,10 +68,35 @@ type CriticalStep struct {
 	Self time.Duration // Span duration minus the descended child's
 }
 
-// traceBuf accumulates one trace's spans until it goes idle.
+// maxTraceSpans bounds one pending trace's span count: a runaway or
+// hostile producer must not grow a trace without limit, and the
+// linear dedupe below must stay cheap. Spans past the cap are dropped
+// and counted in obs_collector_span_overflow_total.
+const maxTraceSpans = 4096
+
+// traceBuf accumulates one trace's spans until it goes idle. A slice,
+// not a map: real traces hold a handful of spans, and thousands of
+// pending traces live here between sweeps — small maps made this the
+// most pointer-dense region of the collector's heap, billing every GC
+// mark phase of the host (measurable on small machines).
 type traceBuf struct {
-	spans    map[uint64]SpanRecord // by span ID (dedupe: export may retry)
+	spans    []SpanRecord
 	lastSeen time.Time
+}
+
+// add appends rec unless its span ID is already present (export may
+// retry a batch) or the trace is at maxTraceSpans.
+func (tb *traceBuf) add(rec SpanRecord) (added, overflow bool) {
+	for i := range tb.spans {
+		if tb.spans[i].ID == rec.ID {
+			return false, false
+		}
+	}
+	if len(tb.spans) >= maxTraceSpans {
+		return false, true
+	}
+	tb.spans = append(tb.spans, rec)
+	return true, false
 }
 
 // Collector assembles exported spans into traces. Add is the ingest
@@ -110,6 +120,7 @@ type Collector struct {
 	traces   *obs.Counter
 	retained *obs.Counter
 	dropped  *obs.Counter
+	overflow *obs.Counter
 }
 
 // NewCollector builds a collector with policy (zero value = defaults).
@@ -126,6 +137,7 @@ func NewCollector(policy RetainPolicy) *Collector {
 		traces:   obs.GetCounter("obs_collector_traces_total"),
 		retained: obs.GetCounter("obs_collector_retained_total"),
 		dropped:  obs.GetCounter("obs_collector_sampled_out_total"),
+		overflow: obs.GetCounter("obs_collector_span_overflow_total"),
 	}
 }
 
@@ -148,14 +160,21 @@ func (c *Collector) Add(b Batch) {
 		if rec.Trace == 0 {
 			continue
 		}
+		// The exporter stamps the site once per batch, not per span (the
+		// span sink is on the RPC hot path); unfold it here.
+		if rec.Site == "" {
+			rec.Site = b.Site
+		}
 		tb := c.pending[rec.Trace]
 		if tb == nil {
-			tb = &traceBuf{spans: make(map[uint64]SpanRecord)}
+			tb = &traceBuf{}
 			c.pending[rec.Trace] = tb
 		}
-		if _, dup := tb.spans[rec.ID]; !dup {
-			tb.spans[rec.ID] = rec
+		added, overflow := tb.add(rec)
+		if added {
 			c.spansIn.Inc()
+		} else if overflow {
+			c.overflow.Inc()
 		}
 		tb.lastSeen = now
 	}
@@ -196,6 +215,32 @@ func (c *Collector) Sweep(maxIdle time.Duration) int {
 // finalizeLocked assembles a pending trace, applies the retain policy,
 // and (when kept) records it. Callers hold c.mu.
 func (c *Collector) finalizeLocked(id obs.TraceID, tb *traceBuf) {
+	if old := c.byID[id]; old != nil {
+		// A straggler batch (a late export retry can outlive
+		// CompleteAfter) re-finalized a trace already in the flight
+		// recorder. The original spans left pending at the first
+		// finalize, so the straggler set alone may be near-empty —
+		// merge the retained tree into it and re-assemble in place, so
+		// a retained trace only ever gains spans.
+		for i := range old.Spans {
+			tb.add(old.Spans[i])
+		}
+		t := assemble(id, tb)
+		t.Reason = old.Reason
+		// Late spans may carry the error or the tail the first pass
+		// never saw; upgrade the reason if they do.
+		if r := deterministicReason(t, c.policy.SlowThreshold); r != "" {
+			t.Reason = r
+		}
+		for i, r := range c.ring {
+			if r == old {
+				c.ring[i] = t
+				break
+			}
+		}
+		c.byID[id] = t
+		return
+	}
 	c.traces.Inc()
 	t := assemble(id, tb)
 	reason := c.retainReason(t)
@@ -205,15 +250,6 @@ func (c *Collector) finalizeLocked(id obs.TraceID, tb *traceBuf) {
 	}
 	t.Reason = reason
 	c.retained.Inc()
-	if old := c.byID[t.ID]; old != nil {
-		// A straggler batch re-finalized a retained trace: replace it.
-		for i, r := range c.ring {
-			if r == old {
-				c.ring = append(c.ring[:i], c.ring[i+1:]...)
-				break
-			}
-		}
-	}
 	c.ring = append(c.ring, t)
 	c.byID[t.ID] = t
 	if len(c.ring) > c.policy.RecorderSize {
@@ -225,6 +261,18 @@ func (c *Collector) finalizeLocked(id obs.TraceID, tb *traceBuf) {
 
 // retainReason decides tail sampling; "" means drop.
 func (c *Collector) retainReason(t *Trace) string {
+	if r := deterministicReason(t, c.policy.SlowThreshold); r != "" {
+		return r
+	}
+	if c.policy.SampleRate > 0 && c.rng.Float64() < c.policy.SampleRate {
+		return "sampled"
+	}
+	return ""
+}
+
+// deterministicReason is the policy's non-probabilistic half — the
+// reasons a trace is ALWAYS retained; "" defers to sampling.
+func deterministicReason(t *Trace, slow time.Duration) string {
 	for i := range t.Spans {
 		if strings.HasPrefix(t.Spans[i].Err, obs.DeadlineMissPrefix) {
 			return "deadline"
@@ -235,11 +283,8 @@ func (c *Collector) retainReason(t *Trace) string {
 			return "error"
 		}
 	}
-	if t.Root != nil && t.Dur >= c.policy.SlowThreshold {
+	if t.Root != nil && t.Dur >= slow {
 		return "slow"
-	}
-	if c.policy.SampleRate > 0 && c.rng.Float64() < c.policy.SampleRate {
-		return "sampled"
 	}
 	return ""
 }
@@ -247,10 +292,9 @@ func (c *Collector) retainReason(t *Trace) string {
 // assemble orders a trace's spans, finds its root, and computes the
 // critical path.
 func assemble(id obs.TraceID, tb *traceBuf) *Trace {
-	t := &Trace{ID: id, Spans: make([]SpanRecord, 0, len(tb.spans))}
-	for _, rec := range tb.spans {
-		t.Spans = append(t.Spans, rec)
-	}
+	// The traceBuf leaves pending before finalize, so the trace can own
+	// its span slice outright.
+	t := &Trace{ID: id, Spans: tb.spans}
 	sort.Slice(t.Spans, func(i, j int) bool {
 		if t.Spans[i].StartNS != t.Spans[j].StartNS {
 			return t.Spans[i].StartNS < t.Spans[j].StartNS

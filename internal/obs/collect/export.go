@@ -15,15 +15,16 @@ import (
 	"mits/internal/transport"
 )
 
-// SpanRecord is one finished span on the wire (gob). IDs travel as raw
-// uint64 so the record stays flat.
+// SpanRecord is one finished span on the wire (the hand-rolled binary
+// format in wire.go). IDs travel as raw uint64 so the record stays
+// flat.
 type SpanRecord struct {
 	Trace   uint64
 	ID      uint64
 	Parent  uint64
 	Name    string
 	Kind    string
-	Site    string // exporting node, stamped by the Exporter
+	Site    string // exporting node; blank on the wire, unfolded from Batch.Site by the collector
 	Err     string
 	StartNS int64 // UnixNano
 	DurNS   int64
@@ -43,21 +44,27 @@ type ExporterOptions struct {
 	Site string
 	// QueueDepth bounds spans buffered between the hot path and the
 	// export goroutine; beyond it spans are dropped (counted in
-	// obs_export_dropped_total). Default 1024.
+	// obs_export_dropped_total). The export goroutine only drains on
+	// the FlushInterval tick, so this must cover a full interval of
+	// span production. Default 8192 (~32k spans/sec at the default
+	// 250ms interval).
 	QueueDepth int
-	// BatchSize is how many spans ship per obs.Export call. Default 64.
+	// BatchSize is how many spans ship per obs.Export call. Default 128
+	// — big enough to amortize the per-call transport cost on a busy
+	// node at the default flush interval.
 	BatchSize int
-	// FlushInterval bounds how stale a buffered span may go before a
-	// partial batch ships anyway. Default 250ms.
+	// FlushInterval is the export cadence: how often the buffered spans
+	// are drained and shipped, and therefore how stale a span may go.
+	// Default 250ms.
 	FlushInterval time.Duration
 }
 
 func (o ExporterOptions) withDefaults() ExporterOptions {
 	if o.QueueDepth <= 0 {
-		o.QueueDepth = 1024
+		o.QueueDepth = 8192
 	}
 	if o.BatchSize <= 0 {
-		o.BatchSize = 64
+		o.BatchSize = 128
 	}
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = 250 * time.Millisecond
@@ -82,6 +89,7 @@ type Exporter struct {
 	quit    chan struct{}
 	stopped sync.Once
 	wg      sync.WaitGroup
+	scratch []byte // encode buffer, owned by the run goroutine
 
 	dropped  *obs.Counter
 	exported *obs.Counter
@@ -119,17 +127,15 @@ func (e *Exporter) offer(s *obs.Span) {
 	if s.Name == transport.MethodObsExport {
 		return
 	}
-	site := e.opts.Site
-	if site == "" {
-		site = e.reg.Site()
-	}
+	// Site is left blank here and stamped once per batch at ship time
+	// (Batch.Site; the collector unfolds it per span) — offer runs on
+	// every Span.End, and resolving the site name costs a registry lock.
 	rec := SpanRecord{
 		Trace:   uint64(s.Trace),
 		ID:      uint64(s.ID),
 		Parent:  uint64(s.Parent),
 		Name:    s.Name,
 		Kind:    s.Kind,
-		Site:    site,
 		Err:     s.Err,
 		StartNS: s.Start.UnixNano(),
 		DurNS:   int64(s.Dur),
@@ -141,22 +147,32 @@ func (e *Exporter) offer(s *obs.Span) {
 	}
 }
 
-// run is the export goroutine: accumulate into a batch, ship at
-// BatchSize or FlushInterval, whichever comes first.
+// site resolves the name stamped on exported spans and batches: the
+// explicit option, else the registry's SetSite value at the time of
+// use (it may be configured after the exporter starts).
+func (e *Exporter) site() string {
+	if e.opts.Site != "" {
+		return e.opts.Site
+	}
+	return e.reg.Site()
+}
+
+// run is the export goroutine: every FlushInterval it drains the
+// queue and ships the accumulated spans in BatchSize chunks. It
+// deliberately never parks on the queue itself — with no receiver
+// waiting, the hot path's enqueue is a plain buffered-channel write
+// that wakes nobody, where a parked receiver would turn every
+// Span.End into a goroutine wakeup (a measurable scheduler tax at RPC
+// rates on small hosts).
 func (e *Exporter) run() {
 	defer e.wg.Done()
 	t := time.NewTicker(e.opts.FlushInterval)
 	defer t.Stop()
-	batch := make([]SpanRecord, 0, e.opts.BatchSize)
+	var batch []SpanRecord
 	for {
 		select {
-		case rec := <-e.queue:
-			batch = append(batch, rec)
-			if len(batch) >= e.opts.BatchSize {
-				batch = e.ship(batch)
-			}
 		case <-t.C:
-			batch = e.ship(batch)
+			batch = e.ship(e.drainInto(batch))
 		case ack := <-e.flushc:
 			batch = e.ship(e.drainInto(batch))
 			close(ack)
@@ -179,26 +195,44 @@ func (e *Exporter) drainInto(batch []SpanRecord) []SpanRecord {
 	}
 }
 
-// ship sends one batch, returning the reset buffer. A failed export
-// drops the batch (counted): spans are telemetry, not payload, and
-// buffering them against a dead collector would turn the exporter into
-// the memory leak it exists to avoid.
+// ship sends the buffered spans in BatchSize chunks, returning the
+// reset buffer. A failed export drops that chunk (counted): spans are
+// telemetry, not payload, and buffering them against a dead collector
+// would turn the exporter into the memory leak it exists to avoid.
 func (e *Exporter) ship(batch []SpanRecord) []SpanRecord {
-	if len(batch) == 0 {
-		return batch
+	site := e.site()
+	for off := 0; off < len(batch); off += e.opts.BatchSize {
+		chunk := batch[off:min(off+e.opts.BatchSize, len(batch))]
+		e.scratch = appendBatch(e.scratch[:0], Batch{Site: site, Spans: chunk})
+		_, err := e.client.Call(transport.MethodObsExport, e.scratch)
+		if err != nil {
+			e.failed.Inc()
+			e.dropped.Add(int64(len(chunk)))
+		} else {
+			e.exported.Add(int64(len(chunk)))
+		}
 	}
-	payload, err := encodeBatch(Batch{Site: e.opts.Site, Spans: batch})
-	if err == nil {
-		_, err = e.client.Call(transport.MethodObsExport, payload)
-	}
-	if err != nil {
-		e.failed.Inc()
-		e.dropped.Add(int64(len(batch)))
-	} else {
-		e.exported.Add(int64(len(batch)))
+	// A burst (a flush after a stall, a busy spike) can leave the batch
+	// buffer holding thousands of pointer-bearing records; do not carry
+	// that as permanent live heap for the GC to re-mark every cycle —
+	// steady state regrows a right-sized buffer in one tick.
+	if cap(batch) > 4*e.opts.BatchSize {
+		return nil
 	}
 	return batch[:0]
 }
+
+// Detach unhooks the exporter from the registry's span sink without
+// stopping it: queued spans still ship on the next tick, the client
+// stays connected, and Attach resumes capture. The pair lets an
+// operator (or a benchmark) toggle tracing on a live node without
+// paying exporter start-up per toggle.
+func (e *Exporter) Detach() { e.reg.SetSpanSink(nil) }
+
+// Attach (re-)hooks the exporter as the registry's span sink.
+// StartExporter attaches automatically; Attach is only needed after a
+// Detach.
+func (e *Exporter) Attach() { e.reg.SetSpanSink(e.offer) }
 
 // Flush synchronously drains the queue and ships everything buffered —
 // the deterministic barrier tests and experiments use instead of

@@ -37,6 +37,43 @@ func TestServeStatsServesExposition(t *testing.T) {
 	}
 }
 
+// TestRuntimeSamplerSharedAcrossStatsServers is the regression for GC
+// pauses being double-counted: a process serving two stats endpoints
+// over the Default registry must run ONE runtime sampler, shared by
+// refcount — it survives the first Close and stops after the last.
+func TestRuntimeSamplerSharedAcrossStatsServers(t *testing.T) {
+	refs := func() int {
+		Default.samplerMu.Lock()
+		defer Default.samplerMu.Unlock()
+		if (Default.samplerStop != nil) != (Default.samplerRefs > 0) {
+			t.Fatalf("sampler running=%v but refs=%d", Default.samplerStop != nil, Default.samplerRefs)
+		}
+		return Default.samplerRefs
+	}
+	base := refs()
+	s1, err := ServeStats("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ServeStats("127.0.0.1:0")
+	if err != nil {
+		s1.Close()
+		t.Fatal(err)
+	}
+	if got := refs(); got != base+2 {
+		t.Errorf("after two ServeStats: refs = %d, want %d", got, base+2)
+	}
+	s1.Close()
+	s1.Close() // double Close must not release twice
+	if got := refs(); got != base+1 {
+		t.Errorf("after first Close: refs = %d, want %d", got, base+1)
+	}
+	s2.Close()
+	if got := refs(); got != base {
+		t.Errorf("after last Close: refs = %d, want %d", got, base)
+	}
+}
+
 // TestServeStatsHasServerTimeouts is the regression for the unbounded
 // stats server: every http.Server timeout must be set, or a client
 // that stalls mid-request pins a goroutine for the process lifetime.

@@ -128,6 +128,24 @@ func TestMetricNames(t *testing.T) {
 	}
 }
 
+// TestSpanIDsDistinctAcrossRegistries is the regression for
+// per-registry sequential span IDs: a trace's spans come from several
+// processes, each with its own registry, and the collector dedupes
+// within a trace by span ID — two fresh registries minting the same
+// first ID would silently merge distinct spans and mislink the tree.
+func TestSpanIDsDistinctAcrossRegistries(t *testing.T) {
+	a := obs.NewRegistry().StartSpan("op", "client")
+	b := obs.NewRegistry().StartSpan("op", "client")
+	a.End(nil)
+	b.End(nil)
+	if a.ID == 0 || b.ID == 0 {
+		t.Fatal("span ID zero collides with the frame header's no-trace sentinel")
+	}
+	if a.ID == b.ID {
+		t.Fatalf("two fresh registries minted the same span ID %s", a.ID)
+	}
+}
+
 // TestSpansAndRing covers trace identity, parentage, idempotent End,
 // nil-safety, and the exposition ring.
 func TestSpansAndRing(t *testing.T) {

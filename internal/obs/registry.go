@@ -22,7 +22,13 @@ type Registry struct {
 
 	site atomic.Pointer[string] // site name stamped on logs and exposition
 
-	nextSpan atomic.Uint64 // span-ID allocator
+	// samplerMu guards the runtime-sampler refcount: several stats
+	// servers may serve one registry, but only one sampler may run —
+	// a second would observe every GC pause again and double-count
+	// runtime_gc_pause_ns (see startRuntimeSampler).
+	samplerMu   sync.Mutex
+	samplerRefs int
+	samplerStop func()
 
 	spanMu   sync.Mutex
 	spans    [spanRingSize]*Span // finished spans, ring buffer
@@ -30,11 +36,15 @@ type Registry struct {
 	spanLen  int
 
 	// spanHists caches span_ns histogram handles per (name, kind), so
-	// Span.End skips label rendering and the registry lock (see
-	// spanHist). spanSink, when set, receives every finished span — the
-	// exporter tap (see SetSpanSink).
-	spanHists sync.Map // "name\x00kind" → *Histogram
-	spanSink  atomic.Pointer[func(*Span)]
+	// Span.End skips label rendering and the main registry lock (see
+	// spanHist). A struct-keyed map under its own RWMutex rather than a
+	// sync.Map: the lookup then allocates nothing — no key
+	// concatenation, no interface boxing — and End sits on every RPC
+	// completion. spanSink, when set, receives every finished span —
+	// the exporter tap (see SetSpanSink).
+	spanHistMu sync.RWMutex
+	spanHists  map[spanHistKey]*Histogram
+	spanSink   atomic.Pointer[func(*Span)]
 
 	logState // see log.go
 }

@@ -29,11 +29,36 @@ type runtimeSampler struct {
 	wg   sync.WaitGroup
 }
 
-// startRuntimeSampler begins sampling into r and returns a stop
-// function (idempotent via the caller's discipline: ServeStats ties it
-// to StatsServer.Close). One sample is taken synchronously so the
-// gauges are populated before the first scrape can land.
+// startRuntimeSampler attaches a sampler to r and returns a release
+// function (idempotent). A process may serve several stats endpoints
+// over the one Default registry; each endpoint observing every GC
+// pause independently would double-count runtime_gc_pause_ns samples
+// and skew the pause p99, so attaches are refcounted — only the first
+// starts a sampler, and it stops when the last release lands.
 func startRuntimeSampler(r *Registry, interval time.Duration) func() {
+	r.samplerMu.Lock()
+	r.samplerRefs++
+	if r.samplerRefs == 1 {
+		r.samplerStop = runSampler(r, interval)
+	}
+	r.samplerMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.samplerMu.Lock()
+			defer r.samplerMu.Unlock()
+			if r.samplerRefs--; r.samplerRefs == 0 {
+				r.samplerStop()
+				r.samplerStop = nil
+			}
+		})
+	}
+}
+
+// runSampler starts the sampling goroutine and returns its stop
+// function. One sample is taken synchronously so the gauges are
+// populated before the first scrape can land.
+func runSampler(r *Registry, interval time.Duration) func() {
 	s := &runtimeSampler{
 		goroutines: r.Gauge("runtime_goroutines"),
 		heapAlloc:  r.Gauge("runtime_heap_alloc_bytes"),

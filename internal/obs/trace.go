@@ -94,8 +94,12 @@ func (r *Registry) ContinueSpan(name, kind string, trace TraceID, parent SpanID)
 
 func (r *Registry) newSpan(name, kind string, trace TraceID, parent SpanID) *Span {
 	return &Span{
-		Trace:  trace,
-		ID:     SpanID(nonZero(r.nextSpan.Add(1))), //mits:nolock atomic counter
+		Trace: trace,
+		// Span IDs are minted randomly, like trace IDs: a trace's spans
+		// come from several processes (each with its own registry), so a
+		// per-registry counter would hand every process's first span the
+		// same ID and the collector would merge them as duplicates.
+		ID:     SpanID(nonZero(rand.Uint64())),
 		Parent: parent,
 		Name:   name,
 		Kind:   kind,
@@ -131,18 +135,33 @@ func (s *Span) End(err error) {
 	s.reg.recordSpan(s)
 }
 
+// spanHistKey identifies one span_ns histogram in the handle cache.
+type spanHistKey struct{ name, kind string }
+
 // spanHist resolves the span_ns histogram for a (name, kind) pair
-// through a lock-free cache: Span.End sits on every RPC completion,
-// and without the cache each End would re-render the label string and
-// take the registry lock. The first End for a pair pays the full
-// lookup; every later one is a sync.Map read.
+// through an allocation-free cache: Span.End sits on every RPC
+// completion, and without the cache each End would re-render the
+// label string and take the main registry lock. The first End for a
+// pair pays the full lookup; every later one is a read-locked map hit.
 func (r *Registry) spanHist(name, kind string) *Histogram {
-	key := name + "\x00" + kind
-	if h, ok := r.spanHists.Load(key); ok {
-		return h.(*Histogram)
+	key := spanHistKey{name, kind}
+	r.spanHistMu.RLock()
+	h := r.spanHists[key]
+	r.spanHistMu.RUnlock()
+	if h != nil {
+		return h
 	}
-	h := r.Histogram("span_ns", "span", name, "kind", kind)
-	r.spanHists.Store(key, h)
+	h = r.Histogram("span_ns", "span", name, "kind", kind)
+	r.spanHistMu.Lock()
+	if cached := r.spanHists[key]; cached != nil {
+		h = cached
+	} else {
+		if r.spanHists == nil {
+			r.spanHists = make(map[spanHistKey]*Histogram)
+		}
+		r.spanHists[key] = h
+	}
+	r.spanHistMu.Unlock()
 	return h
 }
 

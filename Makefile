@@ -10,10 +10,11 @@ test: build
 check:
 	./scripts/check.sh
 
-# The project static-analysis suite on its own.
+# The project static-analysis suite on its own (gate mode: stale
+# baseline entries are hard errors, same as CI).
 .PHONY: lint
 lint:
-	go run ./cmd/mitslint ./...
+	go run ./cmd/mitslint -ci ./...
 
 # The decoder fuzzers, 10s each (sequential: fuzzing owns all CPUs).
 .PHONY: fuzz
@@ -22,6 +23,7 @@ fuzz:
 	go test -fuzz=FuzzAAL5Reassemble -fuzztime=10s ./internal/atm/
 	go test -fuzz=FuzzMHEGDecode -fuzztime=10s ./internal/mheg/codec/
 	go test -fuzz=FuzzMarkupParse -fuzztime=10s ./internal/markup/
+	go test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/obs/collect/
 
 # The experiment benchmarks (E1–E24 plus the E27 obs baseline).
 .PHONY: bench

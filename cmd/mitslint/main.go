@@ -18,6 +18,16 @@
 //	atomicmix     fields mixing sync/atomic with plain or mutex access
 //	poolcheck     sync.Pool double-Put, use-after-Put, API escapes
 //	deadlinecheck blocking transport/store calls with no reachable deadline
+//	lockorder     cycles in the module-wide lock-ordering graph
+//	ctxflow       inbound deadlines dropped at a cross-package hop
+//
+// All matched packages are summarized into one module-wide view
+// (function summaries, interface calls resolved to every in-module
+// implementation) before any analyzer runs, so the interprocedural
+// analyzers — lockorder, ctxflow — see cross-package facts even when
+// each diagnostic is reported by the package that owns the witness
+// line. Packages are then analyzed concurrently (-j workers, default
+// GOMAXPROCS); output order is independent of scheduling.
 //
 // Diagnostics print in a deterministic order (by file, line, column,
 // analyzer) regardless of package load order; -json emits them as a
@@ -32,6 +42,10 @@
 // band, a baseline file (-baseline, default lint.baseline.json when
 // present) lists triaged findings by analyzer/file/message; matching
 // diagnostics are reported as suppressed and do not fail the run.
+// Entries whose file no longer exists are invalid (renames re-triage
+// under the new path) and entries matching nothing are stale; both are
+// warnings normally and hard errors under -ci, which is how the CI
+// gate keeps the baseline from outliving the findings it triaged.
 // -write-baseline regenerates the file from the current findings.
 // -stats writes per-analyzer wall time and finding counts as JSON to
 // the given path ("-" for stderr).
@@ -39,15 +53,15 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mits/internal/lint"
@@ -62,6 +76,8 @@ func main() {
 	baselinePath := flag.String("baseline", "lint.baseline.json", "baseline file of triaged findings to suppress (missing file = empty baseline)")
 	writeBaseline := flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
 	statsPath := flag.String("stats", "", "write per-analyzer wall time and finding counts as JSON to this path (\"-\" = stderr)")
+	ci := flag.Bool("ci", false, "gate mode: stale or invalidated baseline entries are hard errors, not warnings")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "number of packages analyzed concurrently (1 = serial)")
 	flag.Parse()
 
 	if *jsonOut && *sarifOut {
@@ -104,34 +120,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	var diags []lint.Diagnostic
-	stats := make(map[string]*analyzerStats, len(analyzers))
-	for _, a := range analyzers {
-		stats[a.Name] = &analyzerStats{Analyzer: a.Name}
-	}
-	analyzed := 0
+	var targets []*lint.Package
 	for _, pkg := range pkgs {
 		if !pkg.Root || pkg.Standard || isTestdata(pkg.ImportPath) {
 			continue
 		}
-		analyzed++
+		targets = append(targets, pkg)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintf(os.Stderr, "mitslint: patterns matched no packages: %s\n", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+	for _, pkg := range targets {
 		for _, te := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "mitslint: warning: %s: type error: %v\n", pkg.ImportPath, te)
 		}
-		for _, a := range analyzers {
-			start := time.Now()
-			ds, err := lint.Run(a, pkg)
-			stats[a.Name].WallMS += float64(time.Since(start).Microseconds()) / 1000
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
-				os.Exit(2)
-			}
-			stats[a.Name].Findings += len(ds)
-			diags = append(diags, ds...)
-		}
 	}
-	if analyzed == 0 {
-		fmt.Fprintf(os.Stderr, "mitslint: patterns matched no packages: %s\n", strings.Join(patterns, " "))
+
+	// One module-wide view over every analyzed package: the
+	// interprocedural analyzers resolve interface calls and stitch lock
+	// order across all of it, then each per-package pass reports only
+	// the findings whose witness line it owns.
+	mod := lint.NewModule(targets)
+
+	diags, stats, err := analyzeAll(analyzers, targets, mod, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -158,7 +172,7 @@ func main() {
 	})
 
 	if *writeBaseline {
-		if err := saveBaseline(*baselinePath, diags); err != nil {
+		if err := lint.SaveBaseline(*baselinePath, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 			os.Exit(2)
 		}
@@ -166,14 +180,18 @@ func main() {
 		return
 	}
 
-	baseline, err := loadBaseline(*baselinePath)
+	baseline, err := lint.LoadBaseline(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mitslint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, suppressed, stale := baseline.filter(diags)
+	diags, suppressed, stale := baseline.Filter(diags)
+	severity := "warning"
+	if *ci {
+		severity = "error"
+	}
 	for _, s := range stale {
-		fmt.Fprintf(os.Stderr, "mitslint: warning: stale baseline entry (nothing matches): %s %s: %s\n", s.Analyzer, s.File, s.Message)
+		fmt.Fprintf(os.Stderr, "mitslint: %s: stale baseline entry: %s\n", severity, s)
 	}
 	if suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "mitslint: %d finding(s) suppressed by %s\n", suppressed, *baselinePath)
@@ -196,91 +214,75 @@ func main() {
 			fmt.Println(d.String())
 		}
 	}
-	if len(diags) > 0 {
+	if len(diags) > 0 || (*ci && len(stale) > 0) {
 		os.Exit(1)
 	}
 }
 
-// ---- baseline suppression ----
+// ---- concurrent package analysis ----
 
-// baselineEntry identifies one triaged finding. Line numbers are
-// deliberately absent: a baseline should survive unrelated edits to
-// the file, and analyzer+file+message is specific enough in practice.
-type baselineEntry struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"`
-	Message  string `json:"message"`
-}
-
-type baselineFile struct {
-	// Doc carries the file's purpose for human readers of the JSON.
-	Doc      string          `json:"doc,omitempty"`
-	Findings []baselineEntry `json:"findings"`
-}
-
-func loadBaseline(path string) (*baselineFile, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return &baselineFile{}, nil
+// analyzeAll runs every analyzer over every target package, packages
+// fanned across a bounded worker pool. Results are merged in target
+// order, so diagnostics and stats are identical to a serial run
+// regardless of scheduling; the shared Module is safe for concurrent
+// readers (its lazy graphs build under sync.Once).
+func analyzeAll(analyzers []*lint.Analyzer, targets []*lint.Package, mod *lint.Module, workers int) ([]lint.Diagnostic, map[string]*analyzerStats, error) {
+	if workers < 1 {
+		workers = 1
 	}
-	if err != nil {
-		return nil, err
+	type pkgResult struct {
+		diags []lint.Diagnostic
+		wall  map[string]float64
+		count map[string]int
+		err   error
 	}
-	var b baselineFile
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("baseline %s: %v", path, err)
-	}
-	return &b, nil
-}
-
-// filter splits diags into kept and baseline-suppressed, and returns
-// the baseline entries that matched nothing (stale — the finding was
-// fixed, so the entry should be dropped).
-func (b *baselineFile) filter(diags []lint.Diagnostic) (kept []lint.Diagnostic, suppressed int, stale []baselineEntry) {
-	matched := make([]bool, len(b.Findings))
-	for _, d := range diags {
-		hit := false
-		for i, e := range b.Findings {
-			if e.Analyzer == d.Analyzer && e.File == d.Pos.Filename && e.Message == d.Message {
-				matched[i] = true
-				hit = true
+	results := make([]pkgResult, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range targets {
+		wg.Add(1)
+		go func(i int, pkg *lint.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := pkgResult{
+				wall:  make(map[string]float64, len(analyzers)),
+				count: make(map[string]int, len(analyzers)),
 			}
-		}
-		if hit {
-			suppressed++
-			continue
-		}
-		kept = append(kept, d)
+			for _, a := range analyzers {
+				start := time.Now()
+				ds, err := lint.RunWithModule(a, pkg, mod)
+				res.wall[a.Name] += float64(time.Since(start).Microseconds()) / 1000
+				if err != nil {
+					res.err = err
+					break
+				}
+				res.count[a.Name] += len(ds)
+				res.diags = append(res.diags, ds...)
+			}
+			results[i] = res
+		}(i, pkg)
 	}
-	for i, e := range b.Findings {
-		if !matched[i] {
-			stale = append(stale, e)
-		}
-	}
-	return kept, suppressed, stale
-}
+	wg.Wait()
 
-func saveBaseline(path string, diags []lint.Diagnostic) error {
-	b := baselineFile{
-		Doc: "Triaged mitslint findings suppressed from the gate. Each entry must cite its justification in the PR that added it; remove entries when the finding is fixed (mitslint warns when one goes stale).",
+	var diags []lint.Diagnostic
+	stats := make(map[string]*analyzerStats, len(analyzers))
+	for _, a := range analyzers {
+		stats[a.Name] = &analyzerStats{Analyzer: a.Name}
 	}
-	seen := map[baselineEntry]bool{}
-	for _, d := range diags {
-		e := baselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message}
-		if seen[e] {
-			continue
+	for _, res := range results {
+		if res.err != nil {
+			return nil, nil, res.err
 		}
-		seen[e] = true
-		b.Findings = append(b.Findings, e)
+		diags = append(diags, res.diags...)
+		for name, ms := range res.wall {
+			stats[name].WallMS += ms
+		}
+		for name, n := range res.count {
+			stats[name].Findings += n
+		}
 	}
-	if b.Findings == nil {
-		b.Findings = []baselineEntry{}
-	}
-	data, err := json.MarshalIndent(&b, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return diags, stats, nil
 }
 
 // ---- per-analyzer stats ----

@@ -26,6 +26,16 @@ func RunTest(t *testing.T, testdataDir string, a *Analyzer, pkgdirs ...string) {
 	if err != nil {
 		t.Fatalf("load testdata: %v", err)
 	}
+	// One module over all pattern-named packages, so interprocedural
+	// analyzers see cross-package testdata the way mitslint sees the
+	// real tree.
+	var roots []*Package
+	for _, pkg := range pkgs {
+		if pkg.Root {
+			roots = append(roots, pkg)
+		}
+	}
+	mod := NewModule(roots)
 	ran := false
 	for _, pkg := range pkgs {
 		if !pkg.Root {
@@ -35,7 +45,7 @@ func RunTest(t *testing.T, testdataDir string, a *Analyzer, pkgdirs ...string) {
 		for _, te := range pkg.TypeErrors {
 			t.Errorf("testdata package %s has type error: %v", pkg.ImportPath, te)
 		}
-		diags, err := Run(a, pkg)
+		diags, err := RunWithModule(a, pkg, mod)
 		if err != nil {
 			t.Fatalf("run %s on %s: %v", a.Name, pkg.ImportPath, err)
 		}

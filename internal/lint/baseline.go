@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// BaselineEntry identifies one triaged finding. Line numbers are
+// deliberately absent: a baseline should survive unrelated edits to
+// the file, and analyzer+file+message is specific enough in practice.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the out-of-band suppression file: findings that were
+// triaged, justified in the PR that added them, and excluded from the
+// failing set until fixed.
+type Baseline struct {
+	// Doc carries the file's purpose for human readers of the JSON.
+	Doc      string          `json:"doc,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// StaleReason says why a baseline entry no longer earns its place.
+type StaleReason int
+
+const (
+	// StaleUnmatched: the file still exists but no current diagnostic
+	// matches — the finding was presumably fixed, so the entry should
+	// be dropped. (It can also mean the run's patterns didn't cover the
+	// file's package; -ci runs therefore gate on ./... .)
+	StaleUnmatched StaleReason = iota
+	// StaleFileGone: the entry's file does not exist. A rename or
+	// delete invalidates the entry outright — if the finding moved
+	// with the code, it must be re-triaged under the new path, not
+	// silently carried by a path that no longer pins anything.
+	StaleFileGone
+)
+
+// StaleEntry pairs a dead baseline entry with why it is dead.
+type StaleEntry struct {
+	BaselineEntry
+	Reason StaleReason
+}
+
+func (s StaleEntry) String() string {
+	why := "nothing matches"
+	if s.Reason == StaleFileGone {
+		why = "file no longer exists; renames must re-triage under the new path"
+	}
+	return fmt.Sprintf("%s %s (%s): %s", s.Analyzer, s.File, why, s.Message)
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Filter splits diags into kept and baseline-suppressed, and returns
+// the entries that are stale. An entry whose file no longer exists on
+// disk (relative to the working directory — the same frame diagnostic
+// paths are printed in) is invalid before any matching happens: it
+// suppresses nothing even if a diagnostic in some other file carries
+// the identical message.
+func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, suppressed int, stale []StaleEntry) {
+	gone := make([]bool, len(b.Findings))
+	for i, e := range b.Findings {
+		if _, err := os.Stat(e.File); err != nil {
+			gone[i] = true
+		}
+	}
+	matched := make([]bool, len(b.Findings))
+	for _, d := range diags {
+		hit := false
+		for i, e := range b.Findings {
+			if !gone[i] && e.Analyzer == d.Analyzer && e.File == d.Pos.Filename && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for i, e := range b.Findings {
+		switch {
+		case gone[i]:
+			stale = append(stale, StaleEntry{BaselineEntry: e, Reason: StaleFileGone})
+		case !matched[i]:
+			stale = append(stale, StaleEntry{BaselineEntry: e, Reason: StaleUnmatched})
+		}
+	}
+	return kept, suppressed, stale
+}
+
+// SaveBaseline writes the current findings as the new baseline.
+func SaveBaseline(path string, diags []Diagnostic) error {
+	b := Baseline{
+		Doc: "Triaged mitslint findings suppressed from the gate. Each entry must cite its justification in the PR that added it; remove entries when the finding is fixed (mitslint warns when one goes stale, and -ci makes stale entries a hard error).",
+	}
+	seen := map[BaselineEntry]bool{}
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.Findings = append(b.Findings, e)
+	}
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,172 @@
+// Package ctxflow checks that inbound deadlines survive every hop of
+// the serving path. The paper's bounded-delay guarantee is end-to-end:
+// a deadline that reaches a navigator but dies at the store boundary
+// protects nobody, and the miss only shows up as tail latency under
+// load. Three rules:
+//
+//  1. fresh-context: a function that receives a context.Context calls
+//     context.Background() or context.TODO(). A fresh context carries
+//     no deadline — whatever bound the caller established is severed
+//     on this path. Derive from the inbound ctx instead
+//     (context.WithTimeout(ctx, ...) keeps the chain).
+//
+//  2. handler-chain: context.Background()/context.TODO() introduced in
+//     a function reachable — through the module-wide call graph,
+//     interface calls resolved to every in-module implementation —
+//     from an RPC handler (a concrete implementation of an in-module
+//     interface method named Handle or HandleCtx). Request-handling
+//     code inherits the request's deadline; minting a fresh context
+//     there silently opts the downstream work out of it.
+//
+//  3. unforwarded-hop: a function that owns an inbound deadline (a
+//     context parameter, or a method whose receiver carries a
+//     time.Duration Timeout/Deadline field) makes a blocking call
+//     (Call, Read, Fetch, ...) through an in-module interface that
+//     cannot carry it: the callee takes no context, neither the
+//     interface nor any in-module implementation has a
+//     Set*Deadline*/Set*Timeout* knob or Timeout field, and the body
+//     sets no deadline itself. The deadline exists one frame up and
+//     is structurally lost at this hop. Functions on a
+//     request-handling chain (rule 2's reachability) are held to the
+//     same bar even without their own ctx parameter — the inbound RPC
+//     had a deadline whether or not this frame can see it.
+//
+// Out-of-module interfaces (io.Reader, net.Conn) are exonerated:
+// absence of module vision must not fabricate findings. Suppress a
+// justified detach (fire-and-forget audit write, background refresh)
+// with //mits:allow ctxflow <why>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mits/internal/lint"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that inbound deadlines (contexts, Timeout receivers) are forwarded across every serving-path hop",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	mod := pass.Module()
+	// Rules 1 and 2: fresh contexts, located precisely on the AST.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.FuncAllowed(fd) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkFreshContexts(pass, mod, fn, fd)
+		}
+	}
+	// Rule 3: unforwarded hops, from the package's own summary.
+	ps := mod.Sums[pass.Pkg.Path()]
+	if ps == nil {
+		return nil
+	}
+	for _, fs := range ps.Funcs {
+		checkUnforwardedHops(pass, mod, fs)
+	}
+	return nil
+}
+
+// checkFreshContexts reports context.Background()/TODO() calls that
+// sever an inbound deadline (rule 1) or appear inside a
+// request-handling chain (rule 2).
+func checkFreshContexts(pass *lint.Pass, mod *lint.Module, fn *types.Func, fd *ast.FuncDecl) {
+	hasCtx := lint.SignatureTakesCtx(fn)
+	var root lint.FuncID
+	if !hasCtx {
+		root = mod.HandlerRoot(lint.FuncIDOf(fn))
+		if root == "" {
+			return
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		if callee.Name() != "Background" && callee.Name() != "TODO" {
+			return true
+		}
+		if hasCtx {
+			pass.Reportf(call.Pos(), "context.%s() severs the inbound deadline: this function already receives a ctx — derive from it (context.WithTimeout(ctx, ...)) instead of minting a fresh context", callee.Name())
+		} else {
+			pass.Reportf(call.Pos(), "context.%s() inside the request-handling chain rooted at %s: the inbound request carries the deadline this fresh context silently drops", callee.Name(), root)
+		}
+		return true
+	})
+}
+
+// checkUnforwardedHops reports blocking in-module interface calls that
+// structurally cannot carry the deadline the enclosing function owns.
+func checkUnforwardedHops(pass *lint.Pass, mod *lint.Module, fs *lint.FuncSummary) {
+	if fs.SetsDeadline {
+		return
+	}
+	ownsDeadline := fs.HasCtxParam || fs.DeadlineRecv
+	onChain := false
+	if !ownsDeadline {
+		onChain = mod.HandlerRoot(fs.ID) != ""
+		if !onChain {
+			return
+		}
+	}
+	for i := range fs.Calls {
+		cs := &fs.Calls[i]
+		if !cs.Blocking || cs.CalleeTakesCtx || cs.CtxForwarded || cs.Iface == "" {
+			continue
+		}
+		iface := ifaceOf(cs.Iface)
+		if mod.InterfaceHasDeadlineKnob(iface) {
+			continue
+		}
+		position := lint.ParsePos(cs.Pos)
+		if !pass.OwnsFile(position.Filename) {
+			continue // a goroutine summary whose body sits in another file's decl — report where it lives
+		}
+		what := "the inbound deadline"
+		if !ownsDeadline {
+			what = "the request deadline (chain rooted at " + string(mod.HandlerRoot(fs.ID)) + ")"
+		}
+		pass.ReportAt(position, "blocking %s.%s cannot carry %s: the callee takes no context and neither %s nor any in-module implementation has a deadline knob — add a ctx/timeout parameter to the interface or bound the call here",
+			shortIface(iface), cs.Name, what, shortIface(iface))
+	}
+}
+
+// ifaceOf strips the method from an IfaceMethodID: "pkg.Iface.Method"
+// → "pkg.Iface".
+func ifaceOf(id lint.IfaceMethodID) string {
+	s := string(id)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// shortIface trims the package directory noise from an interface id
+// for the message: "a/b/c.Iface" → "c.Iface".
+func shortIface(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

@@ -1,0 +1,19 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestCtxflow(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a")
+}
+
+// TestCtxflowHandlerChain exercises the module-wide rules: the fresh
+// context and the knobless hop sit in functions with no ctx parameter
+// at all, indicted only because the call graph reaches them from a
+// Handle implementation.
+func TestCtxflowHandlerChain(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "handler")
+}

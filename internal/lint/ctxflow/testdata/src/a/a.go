@@ -1,0 +1,115 @@
+// Package a exercises ctxflow's intra-package rules: fresh contexts
+// that sever an inbound deadline, and blocking interface hops that
+// structurally cannot carry one.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// StoreAPI is knobless: no ctx parameter on Fetch, no Set*Deadline*
+// method, and its one in-module implementation has none either. A
+// deadline cannot cross this boundary.
+type StoreAPI interface {
+	Fetch(key string) ([]byte, error)
+	Stat(key string) int
+}
+
+// MemStore implements StoreAPI without a deadline knob.
+type MemStore struct {
+	m map[string][]byte
+}
+
+func (s *MemStore) Fetch(key string) ([]byte, error) { return s.m[key], nil }
+func (s *MemStore) Stat(key string) int              { return len(s.m[key]) }
+
+// BoundedAPI carries its own knob: any caller can bound the hop.
+type BoundedAPI interface {
+	Fetch(key string) ([]byte, error)
+	SetFetchTimeout(d time.Duration)
+}
+
+// CtxAPI threads the context through the signature.
+type CtxAPI interface {
+	Fetch(ctx context.Context, key string) ([]byte, error)
+}
+
+// Serve severs the inbound deadline with a fresh context.
+func Serve(ctx context.Context, key string, api CtxAPI) ([]byte, error) {
+	fresh := context.Background() // want "severs the inbound deadline"
+	return api.Fetch(fresh, key)
+}
+
+// ServeTODO: TODO is just as fresh as Background.
+func ServeTODO(ctx context.Context, key string, api CtxAPI) ([]byte, error) {
+	return api.Fetch(context.TODO(), key) // want "severs the inbound deadline"
+}
+
+// ServeOK derives from the inbound ctx — the chain holds.
+func ServeOK(ctx context.Context, key string, api CtxAPI) ([]byte, error) {
+	bounded, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return api.Fetch(bounded, key)
+}
+
+// Mux routes requests; its ctx parameter is the inbound deadline.
+type Mux struct {
+	store StoreAPI
+}
+
+// Route makes a blocking hop through the knobless StoreAPI: the ctx
+// exists in this frame and dies here.
+func (m *Mux) Route(ctx context.Context, key string) ([]byte, error) {
+	return m.store.Fetch(key) // want "blocking a.StoreAPI.Fetch cannot carry the inbound deadline"
+}
+
+// RouteStat is clean: Stat is not a blocking name.
+func (m *Mux) RouteStat(ctx context.Context, key string) int {
+	return m.store.Stat(key)
+}
+
+// RouteBounded is clean: BoundedAPI has a SetFetchTimeout knob, so the
+// hop can be bounded even though this call site doesn't do it — that
+// is deadlinecheck's beat, not ctxflow's.
+func (m *Mux) RouteBounded(ctx context.Context, key string, api BoundedAPI) ([]byte, error) {
+	return api.Fetch(key)
+}
+
+// RouteCtx is clean: the callee takes the context.
+func (m *Mux) RouteCtx(ctx context.Context, key string, api CtxAPI) ([]byte, error) {
+	return api.Fetch(ctx, key)
+}
+
+// BoundedClient owns a deadline through its Timeout field rather than
+// a ctx parameter; losing it at a knobless hop is the same bug.
+type BoundedClient struct {
+	Timeout time.Duration
+	store   StoreAPI
+}
+
+// Get: the receiver's Timeout never reaches the store.
+func (c *BoundedClient) Get(key string) ([]byte, error) {
+	return c.store.Fetch(key) // want "blocking a.StoreAPI.Fetch cannot carry the inbound deadline"
+}
+
+// GetBounded is clean: the body arms a deadline itself before the hop.
+func (c *BoundedClient) GetBounded(conn BoundedAPI, key string) ([]byte, error) {
+	conn.SetFetchTimeout(c.Timeout)
+	return conn.Fetch(key)
+}
+
+// Background helper with no inbound deadline and no handler chain:
+// ctxflow has nothing to protect here.
+func warmCache(store StoreAPI, keys []string) {
+	for _, k := range keys {
+		store.Fetch(k)
+	}
+}
+
+// detachOK shows the sanctioned escape hatch for a deliberate detach.
+//
+//mits:allow ctxflow audit writes outlive the request by design
+func detachOK(ctx context.Context) context.Context {
+	return context.Background()
+}

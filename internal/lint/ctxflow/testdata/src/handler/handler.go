@@ -1,0 +1,52 @@
+// Package handler exercises the module-wide rules: fresh contexts and
+// knobless hops inside a request-handling chain, found by resolving
+// the Handler interface to its concrete implementation and walking
+// the call graph from there.
+package handler
+
+import "context"
+
+// Handler is the RPC dispatch seam; its implementations are ctxflow's
+// chain roots.
+type Handler interface {
+	Handle(req []byte) []byte
+}
+
+// Backend is knobless — no ctx, no Set*Timeout, and MemBackend adds
+// none.
+type Backend interface {
+	Fetch(key string) ([]byte, error)
+}
+
+type MemBackend struct{ m map[string][]byte }
+
+func (b *MemBackend) Fetch(key string) ([]byte, error) { return b.m[key], nil }
+
+// Echo implements Handler; everything it reaches is request-handling
+// code whether or not a ctx parameter is in sight.
+type Echo struct {
+	backend Backend
+}
+
+// Handle is a chain root: the inbound RPC carried a deadline even
+// though this signature cannot see it, so the knobless hop drops it.
+func (e *Echo) Handle(req []byte) []byte {
+	body, _ := e.backend.Fetch(string(req)) // want "cannot carry the request deadline"
+	return respond(body)
+}
+
+// respond is two frames below the root; the fresh context still
+// counts as inside the chain.
+func respond(body []byte) []byte {
+	ctx := context.Background() // want "request-handling chain"
+	_ = ctx
+	return body
+}
+
+// offline runs from no handler: same shapes, no findings.
+func offline(b Backend, key string) []byte {
+	ctx := context.Background()
+	_ = ctx
+	body, _ := b.Fetch(key)
+	return body
+}

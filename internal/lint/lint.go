@@ -52,8 +52,22 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	pkg        *Package
+	mod        *Module
 	diags      []Diagnostic
 	allowLines map[string]map[int][]string // filename → line → allowed analyzer names
+}
+
+// Module returns the whole-module view the pass runs under. Drivers
+// that analyze many packages (mitslint, RunTest) share one Module
+// across every pass; a bare Run falls back to a single-package module,
+// which keeps package-local invocations working with package-local
+// vision.
+func (p *Pass) Module() *Module {
+	if p.mod == nil {
+		p.mod = NewModule([]*Package{p.pkg})
+	}
+	return p.mod
 }
 
 var allowRe = regexp.MustCompile(`//\s*mits:(nolock|allow\s+([\w,-]+))`)
@@ -138,14 +152,52 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies one analyzer to one loaded package.
+// ReportAt records a diagnostic at an already-resolved position — the
+// form interprocedural analyzers use, whose witnesses are serialized
+// positions from another package's summary. Allow-comment suppression
+// applies when the position's file belongs to this pass.
+func (p *Pass) ReportAt(position token.Position, format string, args ...any) {
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// OwnsFile reports whether the given filename is one of this pass's
+// package files — interprocedural analyzers use it to report each
+// module-wide finding exactly once, in the package that owns the
+// witness position.
+func (p *Pass) OwnsFile(filename string) bool {
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename == filename {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies one analyzer to one loaded package with single-package
+// vision (the Module, if the analyzer asks for one, covers only pkg).
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWithModule(a, pkg, nil)
+}
+
+// RunWithModule applies one analyzer to one loaded package under a
+// shared whole-module view. mod may be nil; the pass then builds a
+// single-package module on first use.
+func RunWithModule(a *Analyzer, pkg *Package, mod *Module) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		pkg:       pkg,
+		mod:       mod,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)

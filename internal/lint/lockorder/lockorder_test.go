@@ -1,0 +1,18 @@
+package lockorder
+
+import (
+	"testing"
+
+	"mits/internal/lint"
+)
+
+func TestLockorder(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "a", "regress")
+}
+
+// TestLockorderCrossPackage loads the x/y pair as one module: the
+// inversion spans two packages and an interface dispatch, and must be
+// reported exactly once, anchored in x.
+func TestLockorderCrossPackage(t *testing.T) {
+	lint.RunTest(t, "testdata", Analyzer, "x", "y")
+}

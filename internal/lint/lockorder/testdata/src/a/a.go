@@ -1,0 +1,108 @@
+// Package a exercises lockorder's package-local cycle detection: an
+// AB/BA ordering inversion, a self-deadlock through a helper call, and
+// the negative shapes (consistent order, release-before-acquire,
+// goroutine launches) that must stay silent.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+var (
+	gs S
+	gt T
+)
+
+// AB locks S then T — one half of the inversion. The cycle is
+// anchored here because a.S.mu sorts first and this is where a.T.mu is
+// taken under it.
+func AB() {
+	gs.mu.Lock()
+	gt.mu.Lock() // want "lock-order cycle"
+	gt.n++
+	gt.mu.Unlock()
+	gs.n++
+	gs.mu.Unlock()
+}
+
+// BA locks T then S — the other half.
+func BA() {
+	gt.mu.Lock()
+	gs.mu.Lock()
+	gs.n++
+	gs.mu.Unlock()
+	gt.n++
+	gt.mu.Unlock()
+}
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Outer holds r.mu and calls a helper that takes it again: a
+// single-goroutine self-deadlock (Go mutexes are non-reentrant).
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helper() // want "reacquired while already held"
+	r.n++
+}
+
+func (r *R) helper() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}
+
+// ---- negatives ----
+
+type U struct{ mu sync.Mutex }
+type V struct{ mu sync.Mutex }
+
+var (
+	gu U
+	gv V
+)
+
+// Consistent order in every function: U before V, no cycle.
+func UV1() {
+	gu.mu.Lock()
+	gv.mu.Lock()
+	gv.mu.Unlock()
+	gu.mu.Unlock()
+}
+
+func UV2() {
+	gu.mu.Lock()
+	defer gu.mu.Unlock()
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+}
+
+// Sequential release-before-acquire orders nothing.
+func VthenU() {
+	gv.mu.Lock()
+	gv.mu.Unlock()
+	gu.mu.Lock()
+	gu.mu.Unlock()
+}
+
+// A goroutine launched under a lock does not inherit the held set: no
+// V → U edge, so still no cycle.
+func LaunchUnderV() {
+	gv.mu.Lock()
+	go func() {
+		gu.mu.Lock()
+		gu.mu.Unlock()
+	}()
+	gv.mu.Unlock()
+}

@@ -1,0 +1,35 @@
+// Package x is one side of the cross-package inversion suite: its
+// Store locks its own mutex and then calls out through an interface
+// whose only implementation lives in package y — the edge lockorder
+// can only see by resolving interface calls module-wide.
+package x
+
+import "sync"
+
+// Notifier is implemented by y.Cache.
+type Notifier interface {
+	Notify()
+}
+
+type Store struct {
+	mu    sync.Mutex
+	state int
+}
+
+// Reload holds Store.mu across the interface call; y.Cache.Notify
+// takes y.Cache.mu, completing the first half of the cycle. The
+// cycle anchors here: x sorts before y, so this edge is the
+// canonical witness.
+func (s *Store) Reload(n Notifier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	n.Notify() // want "lock-order cycle"
+}
+
+// Flush is the callee y holds its own lock around.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	s.state = 0
+	s.mu.Unlock()
+}

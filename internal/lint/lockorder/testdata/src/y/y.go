@@ -1,0 +1,33 @@
+// Package y is the other side of the cross-package inversion: Evict
+// holds Cache.mu across a call into x.Store.Flush (x.Store.mu), while
+// its Notify — reached from x through the x.Notifier interface —
+// takes Cache.mu under x.Store.mu. Neither package can see the cycle
+// alone; the module-wide graph reports it once, anchored in x.
+package y
+
+import (
+	"sync"
+
+	"mits/internal/lint/lockorder/testdata/src/x"
+)
+
+type Cache struct {
+	mu    sync.Mutex
+	live  int
+	store *x.Store
+}
+
+// Notify implements x.Notifier.
+func (c *Cache) Notify() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live++
+}
+
+// Evict holds Cache.mu across the Store call.
+func (c *Cache) Evict() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live = 0
+	c.store.Flush()
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+const (
+	ipaPath = "mits/internal/lint/testdata/src/ipa"
+	ipbPath = "mits/internal/lint/testdata/src/ipb"
+)
+
+// loadIPFixtures loads the two interprocedural fixture packages,
+// returned in (ipa, ipb) order.
+func loadIPFixtures(t *testing.T) (*Package, *Package) {
+	t.Helper()
+	pkgs, err := Load("testdata", "./src/ipa", "./src/ipb")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	var ipa, ipb *Package
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("fixture %s has type error: %v", pkg.ImportPath, te)
+		}
+		switch pkg.ImportPath {
+		case ipaPath:
+			ipa = pkg
+		case ipbPath:
+			ipb = pkg
+		}
+	}
+	if ipa == nil || ipb == nil {
+		t.Fatalf("fixture packages missing (ipa=%v ipb=%v)", ipa != nil, ipb != nil)
+	}
+	return ipa, ipb
+}
+
+// TestSummaryRoundTrip is the fact-serialization contract: a package
+// summary marshalled in the producing package and unmarshalled in a
+// consuming one must carry identical facts — byte-identical on
+// re-marshal, structurally identical under DeepEqual. Interprocedural
+// analysis is only as sound as this round trip.
+func TestSummaryRoundTrip(t *testing.T) {
+	ipa, ipb := loadIPFixtures(t)
+	for _, pkg := range []*Package{ipa, ipb} {
+		sum := Summarize(pkg)
+		wire, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", pkg.ImportPath, err)
+		}
+		var decoded PackageSummary
+		if err := json.Unmarshal(wire, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", pkg.ImportPath, err)
+		}
+		rewire, err := json.MarshalIndent(&decoded, "", "  ")
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", pkg.ImportPath, err)
+		}
+		if !bytes.Equal(wire, rewire) {
+			t.Errorf("%s: summary wire form not stable across a round trip:\nfirst:\n%s\nsecond:\n%s", pkg.ImportPath, wire, rewire)
+		}
+		if !reflect.DeepEqual(sum, &decoded) {
+			t.Errorf("%s: decoded summary differs structurally from the original", pkg.ImportPath)
+		}
+	}
+
+	// Cross-package consumption: read ipa's facts the way another
+	// package's pass would — through the decoded form only.
+	wire, err := json.Marshal(Summarize(ipa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote PackageSummary
+	if err := json.Unmarshal(wire, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Path != ipaPath {
+		t.Fatalf("decoded path = %q, want %q", remote.Path, ipaPath)
+	}
+	var broadcast *FuncSummary
+	for _, fs := range remote.Funcs {
+		if fs.ID == FuncID(ipaPath+".(Hub).Broadcast") {
+			broadcast = fs
+		}
+	}
+	if broadcast == nil {
+		t.Fatalf("decoded summary lacks (Hub).Broadcast; have %d funcs", len(remote.Funcs))
+	}
+	hubMu := LockID(ipaPath + ".Hub.mu")
+	if len(broadcast.Acquires) != 1 || broadcast.Acquires[0].Lock != hubMu {
+		t.Errorf("Broadcast acquires = %+v, want exactly %s", broadcast.Acquires, hubMu)
+	}
+	putID := IfaceMethodID(ipaPath + ".Sink.Put")
+	found := false
+	for _, cs := range broadcast.Calls {
+		if cs.Iface != putID {
+			continue
+		}
+		found = true
+		if len(cs.Held) != 1 || cs.Held[0] != hubMu {
+			t.Errorf("Sink.Put dispatch held = %v, want [%s]", cs.Held, hubMu)
+		}
+	}
+	if !found {
+		t.Errorf("Broadcast has no call site through %s: %+v", putID, broadcast.Calls)
+	}
+}
+
+// TestModuleResolvesInterfaceCalls is the call-graph contract: an
+// interface call site resolves to every in-module implementation, in
+// both the defining package and a consuming one, and the resulting
+// lock edges cross the package boundary.
+func TestModuleResolvesInterfaceCalls(t *testing.T) {
+	ipa, ipb := loadIPFixtures(t)
+	mod := NewModule([]*Package{ipa, ipb})
+
+	cs := &CallSite{Iface: IfaceMethodID(ipaPath + ".Sink.Put")}
+	got := mod.Targets(cs)
+	want := []FuncID{
+		FuncID(ipaPath + ".(Local).Put"),
+		FuncID(ipbPath + ".(Remote).Put"),
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Targets(Sink.Put) = %v, want %v", got, want)
+	}
+
+	// The resolved dispatch must produce ordering edges from Hub.mu to
+	// each implementation's lock — one of them in a package Hub's
+	// summary has never seen.
+	edgeTo := map[LockID]bool{}
+	for _, e := range mod.LockEdges() {
+		if e.From == LockID(ipaPath+".Hub.mu") {
+			edgeTo[e.To] = true
+		}
+	}
+	for _, to := range []LockID{LockID(ipaPath + ".Local.mu"), LockID(ipbPath + ".Remote.mu")} {
+		if !edgeTo[to] {
+			t.Errorf("missing lock edge Hub.mu → %s (edges: %v)", to, mod.LockEdges())
+		}
+	}
+
+	// Mirror's goroutine body is a synthetic function of its own; the
+	// launch must not smuggle Broadcast under Mirror's (empty) held
+	// set, and the body must carry the Broadcast call.
+	goBody := mod.Func(FuncID(ipbPath + ".Mirror#go1"))
+	if goBody == nil {
+		t.Fatal("no synthetic summary for Mirror's goroutine body")
+	}
+	foundBroadcast := false
+	for _, cs := range goBody.Calls {
+		if cs.Callee == FuncID(ipaPath+".(Hub).Broadcast") {
+			foundBroadcast = true
+			if len(cs.Held) != 0 {
+				t.Errorf("goroutine body calls Broadcast with held = %v, want none", cs.Held)
+			}
+		}
+	}
+	if !foundBroadcast {
+		t.Errorf("Mirror#go1 does not call Broadcast: %+v", goBody.Calls)
+	}
+}

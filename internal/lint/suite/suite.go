@@ -7,11 +7,13 @@ import (
 	"mits/internal/lint/boundscheck"
 	"mits/internal/lint/chanwait"
 	"mits/internal/lint/closecheck"
+	"mits/internal/lint/ctxflow"
 	"mits/internal/lint/deadlinecheck"
 	"mits/internal/lint/errdrop"
 	"mits/internal/lint/goleak"
 	"mits/internal/lint/lifecycle"
 	"mits/internal/lint/lockcheck"
+	"mits/internal/lint/lockorder"
 	"mits/internal/lint/logcheck"
 	"mits/internal/lint/poolcheck"
 	"mits/internal/lint/sleepless"
@@ -34,5 +36,7 @@ func All() []*lint.Analyzer {
 		poolcheck.Analyzer,
 		deadlinecheck.Analyzer,
 		spancheck.Analyzer,
+		lockorder.Analyzer,
+		ctxflow.Analyzer,
 	}
 }

@@ -7,6 +7,8 @@ import (
 
 	"mits/internal/lint"
 	"mits/internal/lint/chanwait"
+	"mits/internal/lint/ctxflow"
+	"mits/internal/lint/lockorder"
 )
 
 // TestSuiteWellFormed pins the conventions every analyzer in the suite
@@ -92,5 +94,103 @@ func TestChanwaitGuardsTransportEnqueue(t *testing.T) {
 	}
 	if !checked {
 		t.Fatal("mits/internal/transport not among loaded packages")
+	}
+}
+
+// TestSuiteInterproceduralAnalyzersRegistered pins the module-wide
+// layer into the suite: lockorder and ctxflow only see cross-package
+// inversions and dropped deadlines when they actually run, so their
+// registration is itself an invariant.
+func TestSuiteInterproceduralAnalyzersRegistered(t *testing.T) {
+	want := []string{"lockorder", "ctxflow"}
+	have := make(map[string]bool)
+	for _, a := range All() {
+		have[a.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("suite is missing the %s analyzer", name)
+		}
+	}
+}
+
+// loadDeliveryModule loads the delivery-path packages — transport,
+// trace collection, the cache, and the metrics layer they all call
+// into under their locks — as one module, the way mitslint sees them:
+// one shared summary index, interface calls resolved across package
+// boundaries. obs must be in the module or the cache→obs and
+// transport→obs held-lock call edges dangle and the ordering graph
+// goes blind exactly where the cross-package risk is.
+func loadDeliveryModule(t *testing.T) ([]*lint.Package, *lint.Module) {
+	t.Helper()
+	patterns := []string{
+		"mits/internal/transport",
+		"mits/internal/obs",
+		"mits/internal/obs/collect",
+		"mits/internal/cache",
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading delivery path: %v", err)
+	}
+	wantPaths := map[string]bool{}
+	for _, p := range patterns {
+		wantPaths[p] = true
+	}
+	var roots []*lint.Package
+	for _, pkg := range pkgs {
+		if wantPaths[pkg.ImportPath] {
+			roots = append(roots, pkg)
+		}
+	}
+	if len(roots) != len(patterns) {
+		t.Fatalf("loaded %d of %d delivery-path packages", len(roots), len(patterns))
+	}
+	return roots, lint.NewModule(roots)
+}
+
+// TestLockorderGuardsDeliveryPath is this PR's cross-package tripwire:
+// the module-wide lock-ordering graph over transport writeLoop,
+// collector finalize, and cache singleflight must stay acyclic. A new
+// call edge that closes a cycle — say collector finalize shipping
+// through an exporter that re-enters the collector, the shape pinned
+// in lockorder/testdata/src/regress — fails this test before any
+// stress run has to hit the deadlock.
+func TestLockorderGuardsDeliveryPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the delivery path")
+	}
+	roots, mod := loadDeliveryModule(t)
+	for _, pkg := range roots {
+		diags, err := lint.RunWithModule(lockorder.Analyzer, pkg, mod)
+		if err != nil {
+			t.Fatalf("lockorder over %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("lock-order cycle in delivery path: %s", d.String())
+		}
+	}
+	if len(mod.LockEdges()) == 0 {
+		t.Error("lock-ordering graph over the delivery path is empty; summary extraction regressed")
+	}
+}
+
+// TestCtxflowGuardsDeliveryPath: every deadline the delivery path
+// receives (TCPClient.Timeout, collector flush intervals) must survive
+// its hops — no fresh contexts on serving chains, no knobless
+// blocking interface calls below a deadline-carrying frame.
+func TestCtxflowGuardsDeliveryPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the delivery path")
+	}
+	roots, mod := loadDeliveryModule(t)
+	for _, pkg := range roots {
+		diags, err := lint.RunWithModule(ctxflow.Analyzer, pkg, mod)
+		if err != nil {
+			t.Fatalf("ctxflow over %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("dropped deadline in delivery path: %s", d.String())
+		}
 	}
 }

@@ -1,0 +1,58 @@
+// Package ipa is the producer side of the interprocedural meta-test
+// fixtures: it defines the Sink seam, one local implementation, and a
+// Hub that dispatches through the seam while holding its own lock —
+// the facts whose serialized form must survive a cross-package round
+// trip byte-for-byte.
+package ipa
+
+import (
+	"context"
+	"sync"
+)
+
+// Sink is the dispatch seam; ipb adds a second implementation.
+type Sink interface {
+	Put(v int)
+	Fetch(key string) ([]byte, error)
+}
+
+type Local struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+func (l *Local) Put(v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.vals = append(l.vals, v)
+}
+
+func (l *Local) Fetch(key string) ([]byte, error) { return nil, nil }
+
+type Hub struct {
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// Broadcast holds Hub.mu across the Sink.Put dispatch: the module
+// graph must resolve the interface call to every implementation and
+// draw the Hub.mu → impl.mu ordering edges.
+func (h *Hub) Broadcast(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.sinks {
+		s.Put(v)
+	}
+}
+
+// Forward threads its ctx to the next hop; the summaries record the
+// forward at each level.
+func Forward(ctx context.Context, s Sink, key string) ([]byte, error) {
+	return FetchWith(ctx, s, key)
+}
+
+// FetchWith receives the forwarded ctx ahead of a seam call.
+func FetchWith(ctx context.Context, s Sink, key string) ([]byte, error) {
+	_ = ctx
+	return s.Fetch(key)
+}

@@ -13,8 +13,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go run ./cmd/mitslint ./..."
-go run ./cmd/mitslint ./...
+echo "==> go run ./cmd/mitslint -ci -baseline lint.baseline.json ./..."
+go run ./cmd/mitslint -ci -baseline lint.baseline.json ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -27,7 +27,8 @@ for target in \
 	FuzzFrameDecode:./internal/transport/ \
 	FuzzAAL5Reassemble:./internal/atm/ \
 	FuzzMHEGDecode:./internal/mheg/codec/ \
-	FuzzMarkupParse:./internal/markup/ ; do
+	FuzzMarkupParse:./internal/markup/ \
+	FuzzWireDecode:./internal/obs/collect/ ; do
 	fuzz=${target%%:*}
 	pkg=${target#*:}
 	echo "==> go test -fuzz=$fuzz -fuzztime=10s $pkg"

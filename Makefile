@@ -47,17 +47,31 @@ pipeline:
 	go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/
 	./scripts/bench_pipeline.sh
 
+# Cluster gate: the E31 chaos experiment (replica kill, shard
+# partition, heal-while-streaming against the sharded replicated
+# store) under the race detector, plus the availability/latency
+# benchmark (scripts/bench_cluster.sh writes BENCH_cluster.json and
+# fails if either acceptance bit — 100% availability with one replica
+# down per shard, degraded p99 within 3× healthy — is false).
+.PHONY: cluster
+cluster:
+	go test -race -run 'TestAllExperimentsPassShapeChecks/E31' -v ./internal/experiments/
+	./scripts/bench_cluster.sh
+
 # Race-stress gate: the concurrency-protocol suites that guard the
 # multiplexed hot path — transport pipelining (out-of-order completion,
-# conn-death drain, blocked-enqueue release, abandoned frames) and the
-# cache singleflight — repeated 5× under the race detector so
-# scheduling-dependent interleavings get real coverage, not one lucky
-# pass. chanwait/atomicmix/poolcheck/deadlinecheck prove the protocol
-# shapes statically; this leg hammers the shapes they cannot see.
+# conn-death drain, blocked-enqueue release, abandoned frames), the
+# cache singleflight, and the cluster failover ladder (replica death
+# mid-stream vs the replication appliers) — repeated 5× under the race
+# detector so scheduling-dependent interleavings get real coverage, not
+# one lucky pass. chanwait/atomicmix/poolcheck/deadlinecheck prove the
+# protocol shapes statically; this leg hammers the shapes they cannot
+# see.
 .PHONY: racestress
 racestress:
 	go test -race -count=5 -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce|TestEnqueueBlockedCallersReleasedOnConnDeath|TestWriteLoopSkipsAbandonedFrames|TestConnDeathFailsAllInFlight|TestCallTimeoutKeepsConnection' ./internal/transport/
 	go test -race -count=5 -run 'TestSingleflight|TestFillErrorNotCached|TestConcurrentMixedKeys' ./internal/cache/
+	go test -race -count=5 -run 'TestReplicaFailoverMidStream|TestReadFailoverReplicaDown|TestReplicationHealsAfterPartition' ./internal/cluster/
 
 # Observability checks alone: obs + collector + transport tests under
 # the race detector, the two-leg smoke (traced-RPC scrape + three-node

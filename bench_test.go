@@ -19,6 +19,7 @@ import (
 	"mits/internal/atm"
 	"mits/internal/baseline"
 	"mits/internal/cache"
+	"mits/internal/cluster"
 	"mits/internal/conference"
 	"mits/internal/courseware"
 	"mits/internal/document"
@@ -1292,4 +1293,131 @@ func BenchmarkE30CollectorAssembly(b *testing.B) {
 			"spans_per_sec": spansPerSec,
 		},
 	})
+}
+
+// BenchmarkE31ClusterAvailability — the cluster availability/latency
+// baseline of DESIGN §12: a 2-shard cluster (primary + 2 read replicas
+// per shard, real TCP store nodes) serving keyed reads through the
+// health-aware router at three damage levels — healthy, one replica
+// down per shard, two replicas down per shard (primary-only). Each
+// stage gets a short unmeasured warm-up so breakers trip and the
+// health ordering settles (steady-state routing is what deployments
+// run in), then b.N measured reads. Besides ns/op it writes
+// BENCH_cluster.json with per-stage p50/p99 read latency and
+// availability, plus the two acceptance bits: 100% availability with
+// one replica down, and degraded p99 within 3x the healthy baseline
+// (scripts/bench_cluster.sh runs it to refresh the numbers).
+func BenchmarkE31ClusterAvailability(b *testing.B) {
+	const (
+		shards      = 2
+		replicas    = 3 // nodes per shard: primary + 2 read replicas
+		seedCourses = 8
+	)
+	nodes := make([][]*cluster.StoreNode, shards)
+	cfg := cluster.Config{
+		Policy: transport.RetryPolicy{
+			Attempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		},
+		BreakerThreshold: 3,
+		BreakerCooldown:  60 * time.Millisecond,
+		Seed:             0xE31BE,
+	}
+	for i := 0; i < shards; i++ {
+		var sc cluster.ShardConfig
+		for j := 0; j < replicas; j++ {
+			name := fmt.Sprintf("bench/s%d/n%d", i, j)
+			n, err := cluster.StartStoreNode(name, faults.Scenario{}, uint64(0xE31BE+31*i+j))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close() //mits:allow errdrop benchmark teardown
+			nodes[i] = append(nodes[i], n)
+			sc.Replicas = append(sc.Replicas, cluster.ReplicaConfig{Name: name, Dial: n.Dialer(100 * time.Millisecond)})
+		}
+		cfg.Shards = append(cfg.Shards, sc)
+	}
+	router, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close() //mits:allow errdrop benchmark teardown
+	db := transport.DBClient{C: transport.Loopback{H: router}}
+
+	refs := make([]string, seedCourses)
+	for i := range refs {
+		refs[i] = fmt.Sprintf("store/bench-course-%02d.mpg", i)
+		if err := db.PutContent(refs[i], "mpeg", []byte(fmt.Sprintf("frames-%02d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !router.WaitConverged(5 * time.Second) {
+		b.Fatalf("seed replication never converged: backlog %d", router.Backlog())
+	}
+
+	type stage struct {
+		down      int
+		lat       sim.Series
+		ok, total int
+	}
+	stages := []*stage{{down: 0}, {down: 1}, {down: 2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, st := range stages {
+		// Damage is cumulative: stage N partitions the N-th read replica
+		// of every shard.
+		if st.down > 0 {
+			for _, shard := range nodes {
+				shard[st.down].Partition(true)
+			}
+		}
+		b.StopTimer()
+		for i := 0; i < 16; i++ { // warm-up: let breakers open, health order settle
+			db.GetContent(refs[i%len(refs)]) //mits:allow errdrop warm-up outcome recorded by the measured loop
+		}
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			_, rerr := db.GetContent(refs[i%len(refs)])
+			st.lat.AddDuration(time.Since(start))
+			st.total++
+			if rerr == nil {
+				st.ok++
+			}
+		}
+	}
+	b.StopTimer()
+	for _, shard := range nodes {
+		shard[1].Partition(false)
+		shard[2].Partition(false)
+	}
+
+	out := map[string]any{"benchmark": "E31ClusterAvailability", "reads_per_stage": b.N,
+		"topology": fmt.Sprintf("%d shards x (primary+%d replicas)", shards, replicas-1)}
+	for _, st := range stages {
+		avail := 0.0
+		if st.total > 0 {
+			avail = float64(st.ok) / float64(st.total)
+		}
+		key := fmt.Sprintf("replicas_down_%d", st.down)
+		out[key] = map[string]any{
+			"p50_ns":       int64(st.lat.Percentile(50)),
+			"p99_ns":       int64(st.lat.Percentile(99)),
+			"ok":           st.ok,
+			"failed":       st.total - st.ok,
+			"availability": avail,
+		}
+		b.ReportMetric(st.lat.Percentile(99), fmt.Sprintf("down%d_p99_ns", st.down))
+	}
+	// The acceptance bits E31 is gated on: no failed reads with one
+	// replica down per shard, and its p99 within 3x the healthy p99.
+	oneDown := stages[1]
+	out["accept_full_availability_one_down"] = oneDown.ok == oneDown.total
+	out["accept_p99_within_3x_healthy"] = oneDown.lat.Percentile(99) <= 3*stages[0].lat.Percentile(99)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -9,6 +9,20 @@
 //	mitsd -collect 127.0.0.1:7123 -stats 127.0.0.1:7122   # trace collector
 //	mitsd -export 127.0.0.1:7123                # ship spans to a collector
 //
+// Cluster deployment (DESIGN §12) splits the daemon into two roles:
+//
+//	mitsd -shard -addr 127.0.0.1:7201           # one store node (primary or replica)
+//	mitsd -cluster '127.0.0.1:7201,127.0.0.1:7202;127.0.0.1:7203,127.0.0.1:7204' -addr :7121
+//
+// A -shard node serves only the courseware database. The -cluster
+// front door routes that wire protocol across the shards listed in
+// the topology spec (shards ';'-separated, each shard's addresses
+// ','-separated with the primary first), adds the school,
+// facilitation and exercise services locally, and publishes the
+// sample courses through the router so they shard and replicate like
+// any other courseware. Navigators dial the front door exactly as
+// they would a single mitsd.
+//
 // With -stats, GET /stats returns the obs text exposition (counters,
 // gauges, latency percentiles, recent RPC spans), /metrics the
 // Prometheus exposition, /debug/vars the expvar mirror, /debug/pprof/*
@@ -28,10 +42,13 @@ import (
 	"time"
 
 	"mits"
+	"mits/internal/cluster"
 	"mits/internal/exercise"
+	"mits/internal/facilitator"
 	"mits/internal/mediastore"
 	"mits/internal/obs"
 	"mits/internal/obs/collect"
+	"mits/internal/production"
 	"mits/internal/school"
 	"mits/internal/transport"
 )
@@ -44,6 +61,8 @@ func main() {
 	noSamples := flag.Bool("no-samples", false, "do not publish the sample courses")
 	exportAddr := flag.String("export", "", "ship finished spans to the trace collector at this address")
 	collectAddr := flag.String("collect", "", "run a trace collector on this RPC address (views on -stats)")
+	shardMode := flag.Bool("shard", false, "serve a bare store shard (courseware database only; no school, no samples)")
+	clusterSpec := flag.String("cluster", "", "serve as cluster front door over this shard topology (primary,replica,...;primary,...)")
 	verbose := flag.Bool("v", false, "log at debug level")
 	flag.Parse()
 
@@ -53,42 +72,28 @@ func main() {
 		obs.SetLogLevel(slog.LevelDebug)
 	}
 	logger := obs.Logger("mitsd")
-
-	var store *mediastore.Store
-	var sch *school.School
-	schoolPath := ""
-	if *dbPath != "" {
-		schoolPath = *dbPath + ".school"
-		if loaded, err := mediastore.Load(*dbPath); err == nil {
-			store = loaded
-			logger.Info("loaded database image", "path", *dbPath)
-		} else if !os.IsNotExist(underlying(err)) {
-			fatal(logger, "load database image", err)
-		}
-		if loaded, err := school.Load(schoolPath); err == nil {
-			sch = loaded
-			logger.Info("loaded school image", "path", schoolPath)
-		} else if !os.IsNotExist(underlying(err)) {
-			fatal(logger, "load school image", err)
-		}
-	}
-	sys := mits.NewSystemFrom(*name, store, sch)
-
-	if !*noSamples {
-		if err := publishSamples(sys); err != nil {
-			fatal(logger, "publish samples", err)
-		}
-		if err := sys.StockLibrary(); err != nil {
-			fatal(logger, "stock library", err)
-		}
-		if err := publishExercises(sys); err != nil {
-			fatal(logger, "publish exercises", err)
-		}
+	if *shardMode && *clusterSpec != "" {
+		fatal(logger, "flags", errFlagConflict)
 	}
 
-	srv, bound, err := sys.ServeTCP(*addr)
+	// The serving surface differs per role; observability and shutdown
+	// are shared below.
+	var (
+		srv      *transport.TCPServer
+		bound    string
+		shutdown func() // role-specific teardown before the listener closes
+		err      error
+	)
+	switch {
+	case *shardMode:
+		srv, bound, shutdown, err = runShard(logger, *addr, *dbPath)
+	case *clusterSpec != "":
+		srv, bound, shutdown, err = runCluster(logger, *addr, *clusterSpec, *name, *noSamples)
+	default:
+		srv, bound, shutdown, err = runSingle(logger, *addr, *dbPath, *name, *noSamples)
+	}
 	if err != nil {
-		fatal(logger, "listen", err)
+		fatal(logger, "start", err)
 	}
 
 	// Trace collector: the flight recorder this site offers the rest of
@@ -129,8 +134,7 @@ func main() {
 		exporter = collect.StartExporter(obs.Default, collect.Dial(*exportAddr), collect.ExporterOptions{Site: "mitsd"})
 		logger.Info("span export up", "collector", *exportAddr)
 	}
-	docs, contents := sys.Store.Sizes()
-	logger.Info("serving", "school", *name, "addr", bound, "documents", docs, "content_objects", contents)
+	logger.Info("serving", "addr", bound)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -158,11 +162,59 @@ func main() {
 	if err := srv.Close(); err != nil {
 		logger.Warn("close listener", "err", err)
 	}
-	if *dbPath != "" {
-		if err := sys.Store.Save(*dbPath); err != nil {
-			logger.Error("save database image", "path", *dbPath, "err", err)
+	if shutdown != nil {
+		shutdown()
+	}
+}
+
+// runSingle is the classic single-site daemon: one school, one store,
+// everything co-located.
+func runSingle(logger *slog.Logger, addr, dbPath, name string, noSamples bool) (*transport.TCPServer, string, func(), error) {
+	var store *mediastore.Store
+	var sch *school.School
+	schoolPath := ""
+	if dbPath != "" {
+		schoolPath = dbPath + ".school"
+		if loaded, err := mediastore.Load(dbPath); err == nil {
+			store = loaded
+			logger.Info("loaded database image", "path", dbPath)
+		} else if !os.IsNotExist(underlying(err)) {
+			return nil, "", nil, err
+		}
+		if loaded, err := school.Load(schoolPath); err == nil {
+			sch = loaded
+			logger.Info("loaded school image", "path", schoolPath)
+		} else if !os.IsNotExist(underlying(err)) {
+			return nil, "", nil, err
+		}
+	}
+	sys := mits.NewSystemFrom(name, store, sch)
+
+	if !noSamples {
+		if err := publishSamples(sys.Publisher()); err != nil {
+			return nil, "", nil, err
+		}
+		if err := sys.StockLibrary(); err != nil {
+			return nil, "", nil, err
+		}
+		if err := publishExercises(sys.Exercises, sys.Facilitator); err != nil {
+			return nil, "", nil, err
+		}
+	}
+	srv, bound, err := sys.ServeTCP(addr)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	docs, contents := sys.Store.Sizes()
+	logger.Info("single-site school", "school", name, "documents", docs, "content_objects", contents)
+	shutdown := func() {
+		if dbPath == "" {
+			return
+		}
+		if err := sys.Store.Save(dbPath); err != nil {
+			logger.Error("save database image", "path", dbPath, "err", err)
 		} else {
-			logger.Info("saved database image", "path", *dbPath)
+			logger.Info("saved database image", "path", dbPath)
 		}
 		if err := sys.School.Save(schoolPath); err != nil {
 			logger.Error("save school image", "path", schoolPath, "err", err)
@@ -170,6 +222,103 @@ func main() {
 			logger.Info("saved school image", "path", schoolPath)
 		}
 	}
+	return srv, bound, shutdown, nil
+}
+
+// runShard serves one bare store node: the courseware database wire
+// protocol and nothing else. Shard nodes hold whatever the cluster
+// front door routes to them — no samples, no school.
+func runShard(logger *slog.Logger, addr, dbPath string) (*transport.TCPServer, string, func(), error) {
+	store := mediastore.New()
+	if dbPath != "" {
+		if loaded, err := mediastore.Load(dbPath); err == nil {
+			store = loaded
+			logger.Info("loaded shard image", "path", dbPath)
+		} else if !os.IsNotExist(underlying(err)) {
+			return nil, "", nil, err
+		}
+	}
+	mux := transport.NewMux()
+	transport.RegisterStore(mux, store)
+	srv := transport.NewTCPServer(mux)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	docs, contents := store.Sizes()
+	logger.Info("store shard node", "documents", docs, "content_objects", contents)
+	shutdown := func() {
+		if dbPath == "" {
+			return
+		}
+		if err := store.Save(dbPath); err != nil {
+			logger.Error("save shard image", "path", dbPath, "err", err)
+		} else {
+			logger.Info("saved shard image", "path", dbPath)
+		}
+	}
+	return srv, bound, shutdown, nil
+}
+
+// runCluster serves the cluster front door: the router fans the
+// database protocol out across the shard topology, while school,
+// facilitation and exercises run locally beside it. Samples publish
+// through the router, so the demo courseware is itself sharded and
+// replicated.
+func runCluster(logger *slog.Logger, addr, spec, name string, noSamples bool) (*transport.TCPServer, string, func(), error) {
+	router, err := cluster.NewTCPRouter(spec, cluster.TCPOptions{})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	sch := school.New(name)
+	fac := facilitator.New()
+	exb := exercise.NewBook()
+	mux := transport.NewMux()
+	router.Register(mux)
+	school.RegisterService(mux, sch)
+	facilitator.RegisterService(mux, fac)
+	exercise.RegisterService(mux, exb)
+
+	if !noSamples {
+		pub := &mits.Publisher{
+			DB:         transport.DBClient{C: transport.Loopback{H: router}},
+			Production: &production.Center{},
+			School:     sch,
+		}
+		if err := publishSamples(pub); err != nil {
+			router.Close() //mits:allow errdrop teardown after failed start
+			return nil, "", nil, err
+		}
+		if err := pub.StockLibrary(); err != nil {
+			router.Close() //mits:allow errdrop teardown after failed start
+			return nil, "", nil, err
+		}
+		if err := publishExercises(exb, fac); err != nil {
+			router.Close() //mits:allow errdrop teardown after failed start
+			return nil, "", nil, err
+		}
+		if !router.WaitConverged(10 * time.Second) {
+			logger.Warn("sample courseware still replicating", "backlog", router.Backlog())
+		}
+	}
+	srv := transport.NewTCPServer(mux)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		router.Close() //mits:allow errdrop teardown after failed start
+		return nil, "", nil, err
+	}
+	logger.Info("cluster front door", "school", name, "shards", router.Shards())
+	shutdown := func() {
+		// Give in-flight replication a moment to land before the replica
+		// clients close under it.
+		if !router.WaitConverged(2 * time.Second) {
+			logger.Warn("replication backlog abandoned at shutdown", "backlog", router.Backlog())
+		}
+		if err := router.Close(); err != nil {
+			logger.Warn("close cluster router", "err", err)
+		}
+	}
+	return srv, bound, shutdown, nil
 }
 
 // fatal logs a start-up failure and exits non-zero.
@@ -178,12 +327,18 @@ func fatal(logger *slog.Logger, msg string, err error) {
 	os.Exit(1)
 }
 
-func publishSamples(sys *mits.System) error {
+var errFlagConflict = errFlags("-shard and -cluster are mutually exclusive roles")
+
+type errFlags string
+
+func (e errFlags) Error() string { return string(e) }
+
+func publishSamples(pub *mits.Publisher) error {
 	atmDoc, err := mits.SampleATMCourse()
 	if err != nil {
 		return err
 	}
-	if _, err := sys.PublishInteractive(atmDoc, mits.CourseInfo{
+	if _, err := pub.PublishInteractive(atmDoc, mits.CourseInfo{
 		Code: "ELG5121", Name: "ATM Technology", Program: "Engineering",
 		DocName: "atm-course", Sessions: 4, Keywords: []string{"network/atm", "broadband"},
 	}); err != nil {
@@ -193,7 +348,7 @@ func publishSamples(sys *mits.System) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sys.PublishHypermedia(hyperDoc, mits.CourseInfo{
+	if _, err := pub.PublishHypermedia(hyperDoc, mits.CourseInfo{
 		Code: "ELG5374", Name: "Networking Basics", Program: "Engineering",
 		DocName: "net-course", Sessions: 2, Keywords: []string{"network/basics"},
 		Encoding: "sgml",
@@ -204,8 +359,8 @@ func publishSamples(sys *mits.System) error {
 }
 
 // publishExercises adds a sample problem set and announces it.
-func publishExercises(sys *mits.System) error {
-	if err := sys.Exercises.AddSet(&exercise.Set{
+func publishExercises(exb *exercise.Book, fac *facilitator.Facilitator) error {
+	if err := exb.AddSet(&exercise.Set{
 		ID: "atm-ex1", Course: "ELG5121", Title: "Cells and contracts",
 		Problems: []exercise.Problem{
 			{ID: "p1", Kind: exercise.MultipleChoice, Prompt: "How long is an ATM cell?",
@@ -218,8 +373,8 @@ func publishExercises(sys *mits.System) error {
 	}); err != nil {
 		return err
 	}
-	sys.Facilitator.OpenRoom("atm-questions")
-	_, err := sys.Facilitator.Publish("announcements", "admin",
+	fac.OpenRoom("atm-questions")
+	_, err := fac.Publish("announcements", "admin",
 		"Exercise atm-ex1 published", "try 'exercises ELG5121' in the navigator")
 	return err
 }

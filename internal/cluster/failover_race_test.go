@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReplicaFailoverMidStream is the continuous-media failover
+// contract under the race detector: a navigator streams a course's
+// content chunk-by-chunk through the router while, mid-stream, the
+// replica that has been serving it drops off the network. The read
+// ladder must absorb the loss — every chunk arrives intact, the
+// caller never sees an error — while concurrent writes keep landing
+// and the healed replica converges afterward. Runs 5× under -race in
+// `make racestress` (scheduling-dependent interleavings between the
+// failover ladder, health recording and the replication appliers are
+// exactly what one lucky pass would miss).
+func TestReplicaFailoverMidStream(t *testing.T) {
+	r, nodes := testCluster(t, 1, 3)
+	db := routerClient(r)
+
+	// One course, 24 chunks — a chunked MPEG object the navigator pulls
+	// sequentially (the delivery shape of DESIGN §5).
+	const chunks = 24
+	for i := 0; i < chunks; i++ {
+		ref := fmt.Sprintf("store/stream/chunk-%02d.mpg", i)
+		if err := db.PutContent(ref, "mpeg", []byte(fmt.Sprintf("frame-data-%02d", i))); err != nil {
+			t.Fatalf("seed chunk %d: %v", i, err)
+		}
+	}
+	if !r.WaitConverged(3 * time.Second) {
+		t.Fatalf("seed replication never converged: backlog %d", r.Backlog())
+	}
+
+	// Stream reader: sequential chunk fetches, collecting any error.
+	var wg sync.WaitGroup
+	errCh := make(chan error, chunks+1)
+	killAt := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < chunks; i++ {
+			ref := fmt.Sprintf("store/stream/chunk-%02d.mpg", i)
+			rec, err := db.GetContent(ref)
+			if err != nil {
+				errCh <- fmt.Errorf("chunk %d: %w", i, err)
+				return
+			}
+			if want := fmt.Sprintf("frame-data-%02d", i); string(rec.Data) != want {
+				errCh <- fmt.Errorf("chunk %d data = %q, want %q", i, rec.Data, want)
+				return
+			}
+			if i == chunks/3 {
+				close(killAt) // a third in: kill the serving replicas
+			}
+		}
+	}()
+
+	// Chaos: once the stream is under way, cut both read replicas — the
+	// healthiest candidates, so whichever was serving dies mid-stream
+	// and the ladder must end at the primary.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-killAt
+		nodes[0][1].Partition(true)
+		nodes[0][2].Partition(true)
+	}()
+
+	// Concurrent writer: publishing continues during the failover (the
+	// primary is up; replication parks until the heal).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-killAt
+		for i := 0; i < 6; i++ {
+			ref := fmt.Sprintf("store/stream/late-%02d.mpg", i)
+			if err := db.PutContent(ref, "mpeg", []byte("late")); err != nil {
+				errCh <- fmt.Errorf("write during failover: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Heal: both replicas return and the parked writes drain into them.
+	nodes[0][1].Partition(false)
+	nodes[0][2].Partition(false)
+	if !r.WaitConverged(5 * time.Second) {
+		t.Fatalf("replicas never converged after heal: backlog %d", r.Backlog())
+	}
+	for rep := 1; rep <= 2; rep++ {
+		if _, err := nodes[0][rep].Store.GetContent("store/stream/late-05.mpg"); err != nil {
+			t.Fatalf("healed replica %d missing post-failover write: %v", rep, err)
+		}
+	}
+}

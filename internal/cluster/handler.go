@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"mits/internal/mediastore"
+	"mits/internal/obs"
+	"mits/internal/transport"
+)
+
+// Handle implements transport.Handler (untraced requests).
+func (r *Router) Handle(method string, payload []byte) ([]byte, error) {
+	return r.HandleCtx(obs.SpanContext{}, method, payload)
+}
+
+// HandleCtx implements transport.CtxHandler: the router's whole wire
+// surface. Keyed methods hash to their owning shard — reads walk the
+// failover ladder, writes go primary-then-replicate; unkeyed methods
+// scatter to every shard and gather with partial-result degradation.
+func (r *Router) HandleCtx(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+	// The server recycles the request buffer when this handler returns,
+	// but the replication queues (and a timed-out forward's still-queued
+	// frame) outlive it — take a private copy once, up front.
+	payload = append([]byte(nil), payload...)
+	switch method {
+	case transport.MethodGetDoc, transport.MethodGetContent:
+		key, err := transport.RequestKey(method, payload)
+		if err != nil {
+			return nil, err
+		}
+		return r.read(sc, r.shards[r.ring.shardFor(key)], method, payload)
+	case transport.MethodPutDoc, transport.MethodPutContent:
+		key, err := transport.RequestKey(method, payload)
+		if err != nil {
+			return nil, err
+		}
+		return r.write(sc, r.shards[r.ring.shardFor(key)], method, payload)
+	case transport.MethodListDocs, transport.MethodDocByKeyword:
+		return r.scatterNames(sc, method, payload)
+	case transport.MethodKeywordTree:
+		return r.scatterTree(sc, payload)
+	}
+	// Anything else (obs.Export, future methods) is not a cluster
+	// concern; answer like a mux with no such handler.
+	return nil, fmt.Errorf("%w: %q", transport.ErrUnknownMethod, method)
+}
+
+// Register mounts the router's method set on a mux, so a TCP server
+// (or loopback) serves the cluster exactly like a single store.
+func (r *Router) Register(m *transport.Mux) {
+	methods := []string{
+		transport.MethodListDocs,
+		transport.MethodGetDoc,
+		transport.MethodKeywordTree,
+		transport.MethodDocByKeyword,
+		transport.MethodGetContent,
+		transport.MethodPutDoc,
+		transport.MethodPutContent,
+	}
+	for _, method := range methods {
+		m.RegisterCtx(method, func(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+			return r.HandleCtx(sc, method, payload)
+		})
+	}
+}
+
+// sortedKeys flattens a name set into the sorted slice the wire
+// protocol carries — the same order a single store would list.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeKeywordNode folds src into dst: union of docs, recursive merge
+// of same-named children, everything re-sorted so the merged tree is
+// byte-identical to what one store holding all the documents would
+// snapshot.
+func mergeKeywordNode(dst, src *mediastore.KeywordNode) {
+	docs := make(map[string]bool, len(dst.Docs)+len(src.Docs))
+	for _, d := range dst.Docs {
+		docs[d] = true
+	}
+	for _, d := range src.Docs {
+		docs[d] = true
+	}
+	dst.Docs = sortedKeys(docs)
+	if len(dst.Docs) == 0 {
+		dst.Docs = nil
+	}
+	byName := make(map[string]*mediastore.KeywordNode, len(dst.Children))
+	for _, c := range dst.Children {
+		byName[c.Name] = c
+	}
+	for _, sc := range src.Children {
+		if dc, ok := byName[sc.Name]; ok {
+			mergeKeywordNode(dc, sc)
+			continue
+		}
+		cp := &mediastore.KeywordNode{Name: sc.Name}
+		mergeKeywordNode(cp, sc)
+		dst.Children = append(dst.Children, cp)
+		byName[sc.Name] = cp
+	}
+	sort.Slice(dst.Children, func(i, j int) bool {
+		return dst.Children[i].Name < dst.Children[j].Name
+	})
+}

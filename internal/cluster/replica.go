@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mits/internal/transport"
+)
+
+// Replica is one store node serving a shard: a resilient database
+// client (breaker over retry over redial) plus the health signals the
+// router orders read candidates by. The first replica of a shard is
+// its primary — the only node that accepts writes; the rest are read
+// replicas converged by the replication appliers.
+type Replica struct {
+	// Name labels the replica's metrics and the breaker peer
+	// ("shard0/primary", "shard0/replica1").
+	Name string
+	// DB is the hardened client stack to this node.
+	DB transport.DBClient
+	// Breaker is DB's circuit breaker, exposed so the router can order
+	// candidates by its state instead of discovering an open circuit
+	// one rejected call at a time.
+	Breaker *transport.Breaker
+
+	// Health signals, updated on every routed call. Plain atomics: the
+	// values are advisory ordering hints, and a lost update only skews
+	// one routing decision.
+	consecFails atomic.Int64
+	ewmaNs      atomic.Int64
+}
+
+// recordOutcome feeds one routed call's outcome into the replica's
+// health view. Only transport-level failures count against it — a
+// remote handler error means the node is up and answering.
+func (rep *Replica) recordOutcome(dur time.Duration, transportErr bool) {
+	if transportErr {
+		rep.consecFails.Add(1)
+		return
+	}
+	rep.consecFails.Store(0)
+	// EWMA with alpha 1/4: smooth enough to ignore one slow call, fresh
+	// enough to steer away from a node that is degrading.
+	old := rep.ewmaNs.Load()
+	if old == 0 {
+		rep.ewmaNs.Store(int64(dur))
+		return
+	}
+	rep.ewmaNs.Store(old - old/4 + int64(dur)/4)
+}
+
+// healthRank orders candidates: breaker position dominates (a closed
+// circuit always beats an open one), then consecutive failures, then
+// smoothed latency. Lower is healthier.
+func (rep *Replica) healthRank() (state int, fails int64, ewma int64) {
+	return int(rep.Breaker.State()), rep.consecFails.Load(), rep.ewmaNs.Load()
+}
+
+// orderByHealth sorts reps healthiest-first, stably so equally healthy
+// replicas keep their configured order (deterministic routing in the
+// clean case, which the chaos experiments replay against).
+func orderByHealth(reps []*Replica) []*Replica {
+	out := make([]*Replica, len(reps))
+	copy(out, reps)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, fi, ei := out[i].healthRank()
+		sj, fj, ej := out[j].healthRank()
+		if si != sj {
+			return si < sj
+		}
+		if fi != fj {
+			return fi < fj
+		}
+		return ei < ej
+	})
+	return out
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mits/internal/transport"
+)
+
+// Spec is the textual cluster topology of the -cluster flag: shards
+// separated by ';', replica addresses within a shard separated by ','
+// with the first address the shard's primary.
+//
+//	host1:7201,host1:7202;host2:7201,host2:7202
+//
+// describes two shards of one primary and one read replica each.
+
+// ParseSpec parses a topology string into shard configurations that
+// dial each address over TCP.
+func ParseSpec(spec string, callTimeout time.Duration) ([]ShardConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("cluster: empty topology spec")
+	}
+	var shards []ShardConfig
+	for i, shardSpec := range strings.Split(spec, ";") {
+		var sc ShardConfig
+		for j, addr := range strings.Split(shardSpec, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: shard %d: empty address", i)
+			}
+			role := "primary"
+			if j > 0 {
+				role = fmt.Sprintf("replica%d", j)
+			}
+			sc.Replicas = append(sc.Replicas, ReplicaConfig{
+				Name: fmt.Sprintf("shard%d/%s@%s", i, role, addr),
+				Dial: TCPDialer(addr, callTimeout),
+			})
+		}
+		shards = append(shards, sc)
+	}
+	return shards, nil
+}
+
+// TCPOptions tunes NewTCPRouter; zero values take the defaults of the
+// resilience layer (and a 2s call timeout).
+type TCPOptions struct {
+	CallTimeout      time.Duration
+	Policy           transport.RetryPolicy
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Seed             uint64
+}
+
+// NewTCPRouter builds a router over a -cluster topology string, each
+// replica reached through its own resilient TCP client stack.
+func NewTCPRouter(spec string, opts TCPOptions) (*Router, error) {
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 2 * time.Second
+	}
+	shards, err := ParseSpec(spec, opts.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{
+		Shards:           shards,
+		Policy:           opts.Policy,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+		Seed:             opts.Seed,
+	})
+}

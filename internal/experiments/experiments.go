@@ -116,6 +116,7 @@ func All() []Entry {
 		{"E26", E26ABRFeedback},
 		{"E28", E28Chaos},
 		{"E30", E30TraceCollection},
+		{"E31", E31Cluster},
 	}
 }
 

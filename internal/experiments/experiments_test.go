@@ -42,8 +42,8 @@ func TestAllExperimentsPassShapeChecks(t *testing.T) {
 	// Count the registry, not `seen`: under a -run subtest filter
 	// (e.g. the chaos gate's /E28) only the matching subtests execute,
 	// and the parent must not fail just because the rest were skipped.
-	if len(All()) != 28 {
-		t.Errorf("%d experiments registered, want 28", len(All()))
+	if len(All()) != 29 {
+		t.Errorf("%d experiments registered, want 29", len(All()))
 	}
 }
 

@@ -128,6 +128,11 @@ func loadDeliveryModule(t *testing.T) ([]*lint.Package, *lint.Module) {
 		"mits/internal/obs",
 		"mits/internal/obs/collect",
 		"mits/internal/cache",
+		// The cluster router sits on the delivery path too: its shard
+		// replMu and applier locks nest around transport calls, so the
+		// ordering graph must span it or a router→transport inversion
+		// goes unseen.
+		"mits/internal/cluster",
 	}
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {

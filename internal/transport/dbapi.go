@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
 
@@ -137,6 +138,64 @@ func DecodeContentRecord(data []byte) (*mediastore.ContentRecord, error) {
 	return &rec, gobDecode(data, &rec)
 }
 
+// Routing-key extractors and scatter-gather codecs. A cluster router
+// sits between clients and shards speaking the same wire protocol both
+// ways: it needs just enough of each request to route it (the object
+// name or ref the consistent hash keys on) and the ability to merge
+// the per-shard responses of the fan-out methods. Everything below is
+// a thin, exported view of the wire structs for exactly that — the
+// payloads themselves are forwarded verbatim via DBClient.Do.
+
+// RequestKey extracts the routing key of a keyed request payload: the
+// document name for Get_Selected_Doc/PutDocument, the content ref for
+// GetContent/PutContent. Methods that have no single key (list and
+// keyword methods, which fan out) return ErrUnkeyedMethod.
+func RequestKey(method string, payload []byte) (string, error) {
+	switch method {
+	case MethodGetDoc:
+		var req getDocReq
+		return req.Name, gobDecode(payload, &req)
+	case MethodGetContent:
+		var req getContentReq
+		return req.Ref, gobDecode(payload, &req)
+	case MethodPutDoc:
+		var req putDocReq
+		return req.Name, gobDecode(payload, &req)
+	case MethodPutContent:
+		var req putContentReq
+		return req.Ref, gobDecode(payload, &req)
+	}
+	return "", fmt.Errorf("%w: %s", ErrUnkeyedMethod, method)
+}
+
+// ErrUnkeyedMethod marks a method that carries no single routing key
+// (scatter-gather methods route to every shard instead).
+var ErrUnkeyedMethod = errors.New("transport: method has no routing key")
+
+// EncodeNameList encodes a []string response payload (ListDocs,
+// DocByKeyword) — the merge side of scatter-gather.
+func EncodeNameList(names []string) ([]byte, error) { return gobEncode(names) }
+
+// DecodeNameList decodes a []string response payload.
+func DecodeNameList(payload []byte) ([]string, error) {
+	var names []string
+	return names, gobDecode(payload, &names)
+}
+
+// EncodeKeywordQuery encodes a GetDocByKeyword request payload.
+func EncodeKeywordQuery(keyword string) ([]byte, error) {
+	return gobEncode(keywordReq{Keyword: keyword})
+}
+
+// EncodeKeywordTree encodes a GetKeywordTree response payload.
+func EncodeKeywordTree(t *mediastore.KeywordNode) ([]byte, error) { return gobEncode(t) }
+
+// DecodeKeywordTree decodes a GetKeywordTree response payload.
+func DecodeKeywordTree(payload []byte) (*mediastore.KeywordNode, error) {
+	var tree mediastore.KeywordNode
+	return &tree, gobDecode(payload, &tree)
+}
+
 // DBClient is the typed client module of §5.3.2, usable over any
 // synchronous carrier (TCP or loopback).
 type DBClient struct {
@@ -175,6 +234,15 @@ func (d DBClient) WithTrace(sc obs.SpanContext) DBClient {
 // makes it an ordinary Call on every carrier.
 func (d DBClient) call(method string, payload []byte) ([]byte, error) {
 	return CallInTrace(d.C, d.Trace, method, payload)
+}
+
+// Do issues one raw, already-encoded RPC through the client's full
+// stack (trace, breaker, retry — whatever the carrier composes). It is
+// the forwarding hook for proxies that route by inspecting the payload
+// rather than re-marshalling it: the cluster router decodes just the
+// routing key and ships the original bytes to the chosen replica.
+func (d DBClient) Do(method string, payload []byte) ([]byte, error) {
+	return d.call(method, payload)
 }
 
 // GetListDoc returns the stored document names.

@@ -74,6 +74,95 @@ var idempotentMethods = map[string]bool{
 // IsIdempotent reports whether method is safe to retry blindly.
 func IsIdempotent(method string) bool { return idempotentMethods[method] }
 
+// RetryBudget is a global token bucket shared across calls (and across
+// RetryClients): every retry spends one token, and tokens refill at a
+// bounded rate. Its purpose is storm control — when N callers fail over
+// simultaneously (a shard's primary dies, every navigator's next read
+// fails), per-call retry policies would multiply the outage into N×
+// (Attempts-1) extra requests against whatever survived. A shared
+// budget caps that amplification: once the bucket is dry, calls fail
+// over without retrying instead of piling on. First attempts are never
+// charged — the budget limits amplification, not traffic.
+//
+// Safe for concurrent use. A nil *RetryBudget allows everything, so
+// wiring one in is strictly opt-in per policy.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	perSec float64
+	last   time.Time
+	now    func() time.Time
+
+	exhausted *obs.Counter
+}
+
+// NewRetryBudget builds a budget holding at most maxTokens retries,
+// refilling at refillPerSec tokens per second. maxTokens <= 0 defaults
+// to 10, refillPerSec <= 0 to 10/s — roughly "one small burst, then one
+// retry per 100ms", tight enough to flatten a stampede without starving
+// a lone caller's recovery.
+func NewRetryBudget(maxTokens, refillPerSec float64) *RetryBudget {
+	if maxTokens <= 0 {
+		maxTokens = 10
+	}
+	if refillPerSec <= 0 {
+		refillPerSec = 10
+	}
+	return &RetryBudget{
+		tokens:    maxTokens,
+		max:       maxTokens,
+		perSec:    refillPerSec,
+		now:       time.Now,
+		exhausted: obs.GetCounter("transport_retry_budget_exhausted_total"),
+	}
+}
+
+// SetClock injects a time source (tests); returns the budget.
+func (b *RetryBudget) SetClock(now func() time.Time) *RetryBudget {
+	b.mu.Lock()
+	b.now = now
+	b.last = time.Time{}
+	b.mu.Unlock()
+	return b
+}
+
+// Allow spends one retry token, reporting whether the retry may
+// proceed. A denial is counted in transport_retry_budget_exhausted_total.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.perSec
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.exhausted.Inc()
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the (refilled) balance, for tests and stats.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.perSec
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+		b.last = now
+	}
+	return b.tokens
+}
+
 // RetryPolicy configures RetryClient: attempt budget, exponential
 // backoff with jitter, and the retry decision. The zero value gets
 // sane defaults (3 attempts, 5ms base backoff doubling to 100ms,
@@ -95,6 +184,13 @@ type RetryPolicy struct {
 	// Sleep waits out a backoff; nil means a real clock wait. Tests
 	// inject a recorder.
 	Sleep func(time.Duration)
+	// Budget, when non-nil, is a global retry token bucket shared with
+	// other clients (typically every replica client behind one cluster
+	// router): a retry only proceeds if Budget.Allow() grants a token,
+	// so simultaneous failovers cannot amplify an outage into a retry
+	// storm. Nil means unlimited retries (per-call Attempts still cap
+	// each call).
+	Budget *RetryBudget
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -200,6 +296,12 @@ func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([
 	var lastErr error
 	for attempt := 1; attempt <= p.Attempts; attempt++ {
 		if attempt > 1 {
+			if p.Budget != nil && !p.Budget.Allow() {
+				// The global budget is dry: stop amplifying. The caller
+				// gets the last attempt's typed error and (in a cluster)
+				// fails over to another replica instead of retrying here.
+				break
+			}
 			d := r.jitteredBackoff(attempt - 1)
 			obs.GetCounter("transport_retries_total", "method", method).Inc()
 			obs.Observe("transport_retry_backoff_ns", d)
@@ -331,6 +433,12 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
+	// stateGauge mirrors the position into /stats as
+	// breaker_state{peer=...} (0 closed, 1 open, 2 half-open), so the
+	// cluster router and operators see open circuits directly instead
+	// of inferring them from error counts.
+	stateGauge *obs.Gauge
+
 	mu       sync.Mutex
 	state    BreakerState
 	failures int
@@ -347,7 +455,12 @@ func NewBreaker(peer string, threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = 500 * time.Millisecond
 	}
-	return &Breaker{peer: peer, threshold: threshold, cooldown: cooldown, now: time.Now}
+	b := &Breaker{
+		peer: peer, threshold: threshold, cooldown: cooldown, now: time.Now,
+		stateGauge: obs.GetGauge("breaker_state", "peer", peer),
+	}
+	b.stateGauge.Set(int64(BreakerClosed))
+	return b
 }
 
 // SetClock injects a time source (tests); returns the breaker.
@@ -372,6 +485,7 @@ func (b *Breaker) transitionLocked(to BreakerState) {
 		return
 	}
 	b.state = to
+	b.stateGauge.Set(int64(to))
 	obs.GetCounter("transport_breaker_transitions_total", "peer", b.peer, "to", to.String()).Inc()
 }
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"mits/internal/cache"
+	"mits/internal/cluster"
 	"mits/internal/courseware"
 	"mits/internal/document"
 	"mits/internal/exercise"
@@ -135,11 +136,31 @@ func (ci *CourseInfo) defaults() error {
 	return nil
 }
 
+// CoursewareDB is the database surface publishing needs: exactly the
+// calls authoring makes, satisfied both by the local *mediastore.Store
+// and by transport.DBClient — so a Publisher authors into a co-located
+// store or through the wire into a sharded cluster with the same code.
+type CoursewareDB interface {
+	PutDocument(name, title, encoding string, data []byte, keywords ...string) (int, error)
+	production.ContentSink // PutContent
+	GetContent(ref string) (*mediastore.ContentRecord, error)
+}
+
+// Publisher authors courseware into any courseware database. System's
+// Publish* methods are this over the local store; the cluster daemon
+// builds one over a router-backed client so published courses shard
+// and replicate like everything else.
+type Publisher struct {
+	DB         CoursewareDB
+	Production *production.Center
+	School     *school.School
+}
+
 // PublishInteractive authors an interactive multimedia course end to
 // end: compile the document to MHEG, produce its referenced media into
 // the content database, store the interchanged container, and list the
 // course in the school catalogue. It returns the compiled manifest.
-func (s *System) PublishInteractive(doc *document.IMDoc, info CourseInfo) (*courseware.Compiled, error) {
+func (p *Publisher) PublishInteractive(doc *document.IMDoc, info CourseInfo) (*courseware.Compiled, error) {
 	if err := info.defaults(); err != nil {
 		return nil, err
 	}
@@ -147,11 +168,11 @@ func (s *System) PublishInteractive(doc *document.IMDoc, info CourseInfo) (*cour
 	if err != nil {
 		return nil, err
 	}
-	return out, s.publish(out, doc.Title, info)
+	return out, p.publish(out, doc.Title, info)
 }
 
 // PublishHypermedia authors a hypermedia course end to end.
-func (s *System) PublishHypermedia(doc *document.HyperDoc, info CourseInfo) (*courseware.Compiled, error) {
+func (p *Publisher) PublishHypermedia(doc *document.HyperDoc, info CourseInfo) (*courseware.Compiled, error) {
 	if err := info.defaults(); err != nil {
 		return nil, err
 	}
@@ -159,10 +180,10 @@ func (s *System) PublishHypermedia(doc *document.HyperDoc, info CourseInfo) (*co
 	if err != nil {
 		return nil, err
 	}
-	return out, s.publish(out, doc.Title, info)
+	return out, p.publish(out, doc.Title, info)
 }
 
-func (s *System) publish(out *courseware.Compiled, title string, info CourseInfo) error {
+func (p *Publisher) publish(out *courseware.Compiled, title string, info CourseInfo) error {
 	enc, err := codec.ByName(info.Encoding)
 	if err != nil {
 		return err
@@ -171,26 +192,26 @@ func (s *System) publish(out *courseware.Compiled, title string, info CourseInfo
 	if err != nil {
 		return fmt.Errorf("mits: encode courseware: %w", err)
 	}
-	if _, err := s.Store.PutDocument(info.DocName, title, info.Encoding, data, info.Keywords...); err != nil {
+	if _, err := p.DB.PutDocument(info.DocName, title, info.Encoding, data, info.Keywords...); err != nil {
 		return err
 	}
-	if _, err := s.Production.ProduceForCourse(out, s.Store); err != nil {
+	if _, err := p.Production.ProduceForCourse(out, p.DB); err != nil {
 		return err
 	}
 	introRef := info.IntroRef
 	if introRef == "" {
 		introRef = "store/" + info.DocName + "/introduction.mpg"
-		intro, err := s.Production.Produce(introRef, production.Hints{
+		intro, err := p.Production.Produce(introRef, production.Hints{
 			Duration: 20e9, Topic: "Introduction to " + title,
 		})
 		if err != nil {
 			return err
 		}
-		if err := s.Store.PutContent(introRef, string(intro.Coding), intro.Data); err != nil {
+		if err := p.DB.PutContent(introRef, string(intro.Coding), intro.Data); err != nil {
 			return err
 		}
 	}
-	return s.School.AddCourse(school.Course{
+	return p.School.AddCourse(school.Course{
 		Code:            info.Code,
 		Name:            info.Name,
 		Program:         info.Program,
@@ -202,22 +223,44 @@ func (s *System) publish(out *courseware.Compiled, title string, info CourseInfo
 
 // StockLibrary fills the digital library with reference holdings and
 // indexes them as documents so keyword search finds them.
-func (s *System) StockLibrary() error {
-	docs, err := s.Production.StockLibrary(s.Store)
+func (p *Publisher) StockLibrary() error {
+	docs, err := p.Production.StockLibrary(p.DB)
 	if err != nil {
 		return err
 	}
 	for _, d := range docs {
-		rec, err := s.Store.GetContent(d.Ref)
+		rec, err := p.DB.GetContent(d.Ref)
 		if err != nil {
 			return err
 		}
-		if _, err := s.Store.PutDocument(d.Name, d.Title, "raw-html", rec.Data, d.Keywords...); err != nil {
+		if _, err := p.DB.PutDocument(d.Name, d.Title, "raw-html", rec.Data, d.Keywords...); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// Publisher returns the system's authoring pipeline over its local
+// store and catalogue.
+func (s *System) Publisher() *Publisher {
+	return &Publisher{DB: s.Store, Production: s.Production, School: s.School}
+}
+
+// PublishInteractive authors an interactive course into this system's
+// local store; see Publisher.PublishInteractive.
+func (s *System) PublishInteractive(doc *document.IMDoc, info CourseInfo) (*courseware.Compiled, error) {
+	return s.Publisher().PublishInteractive(doc, info)
+}
+
+// PublishHypermedia authors a hypermedia course into this system's
+// local store; see Publisher.PublishHypermedia.
+func (s *System) PublishHypermedia(doc *document.HyperDoc, info CourseInfo) (*courseware.Compiled, error) {
+	return s.Publisher().PublishHypermedia(doc, info)
+}
+
+// StockLibrary stocks this system's local library; see
+// Publisher.StockLibrary.
+func (s *System) StockLibrary() error { return s.Publisher().StockLibrary() }
 
 // NewNavigator opens a navigator session against this system over
 // in-process transport (the co-located configuration). Remote
@@ -255,6 +298,22 @@ const DefaultContentCacheBytes = 64 << 20
 func NewRemoteNavigator(db, sch transport.Client) *navigator.Navigator {
 	return navigator.New(navigator.Options{
 		DB:           db,
+		School:       sch,
+		ContentCache: cache.New("content:navigator", DefaultContentCacheBytes),
+	})
+}
+
+// NewClusterNavigator opens a navigator against a co-located cluster
+// router: course fetches route through the router's health-aware
+// failover ladder to the sharded, replicated stores, so a navigator
+// session survives a replica dying mid-course. The school client is
+// separate — administration stays a single-site service beside the
+// router (cmd/mitsd -cluster). Remote navigators need nothing special:
+// the router speaks the ordinary wire protocol, so NewRemoteNavigator
+// pointed at a cluster front door gets the same failover transparently.
+func NewClusterNavigator(r *cluster.Router, sch transport.Client) *navigator.Navigator {
+	return navigator.New(navigator.Options{
+		DB:           transport.Loopback{H: r},
 		School:       sch,
 		ContentCache: cache.New("content:navigator", DefaultContentCacheBytes),
 	})

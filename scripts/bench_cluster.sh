@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench_cluster.sh — cluster availability/latency baseline. Runs the
+# E31 benchmark (2 shards x primary+2 replicas of real TCP store
+# nodes behind the health-aware router) at three damage levels —
+# healthy, one replica down per shard, two down — and leaves
+# per-stage p50/p99 read latency and availability in
+# BENCH_cluster.json at the repo root. The two acceptance bits are in
+# the JSON: accept_full_availability_one_down (zero failed reads with
+# one replica down per shard) and accept_p99_within_3x_healthy
+# (degraded p99 bounded by 3x the healthy baseline) must both be true.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go test -run=NONE -bench=BenchmarkE31ClusterAvailability -benchtime=300x ."
+go test -run=NONE -bench=BenchmarkE31ClusterAvailability -benchtime=300x .
+
+echo "==> BENCH_cluster.json:"
+cat BENCH_cluster.json
+
+for bit in accept_full_availability_one_down accept_p99_within_3x_healthy; do
+    if ! grep -q "\"$bit\": true" BENCH_cluster.json; then
+        echo "FAIL: $bit is not true" >&2
+        exit 1
+    fi
+done
+echo "acceptance bits hold"

@@ -74,11 +74,24 @@ go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v .
 echo "==> scripts/bench_pipeline.sh"
 ./scripts/bench_pipeline.sh
 
-# Race-stress gate: the transport pipelining and cache singleflight
-# suites repeated 5× under the race detector (make racestress). The
-# concurrency analyzers (chanwait, atomicmix, poolcheck, deadlinecheck)
-# verify the protocol shapes statically; this leg exercises the
-# interleavings they cannot see.
+# Cluster gate: the E31 chaos experiment (replica kill, shard
+# partition, heal-while-streaming against the sharded replicated
+# MEDIASTORE) re-run under the race detector with the per-scenario
+# table visible, then the availability/latency benchmark writing
+# BENCH_cluster.json — the script fails if either acceptance bit
+# (100% availability with one replica down per shard, degraded p99
+# within 3x healthy) is false.
+echo "==> go test -race -run 'TestAllExperimentsPassShapeChecks/E31' -v ./internal/experiments/"
+go test -race -run 'TestAllExperimentsPassShapeChecks/E31' -v ./internal/experiments/
+
+echo "==> scripts/bench_cluster.sh"
+./scripts/bench_cluster.sh
+
+# Race-stress gate: the transport pipelining, cache singleflight and
+# cluster failover suites repeated 5× under the race detector (make
+# racestress). The concurrency analyzers (chanwait, atomicmix,
+# poolcheck, deadlinecheck) verify the protocol shapes statically;
+# this leg exercises the interleavings they cannot see.
 echo "==> make racestress"
 make racestress
 

@@ -47,6 +47,18 @@ pipeline:
 	go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v ./internal/transport/
 	./scripts/bench_pipeline.sh
 
+# Saturation gate: the per-stripe failure-isolation test under the
+# race detector, then the E32 hardware-limited transport benchmark
+# (scripts/bench_saturation.sh merges saturation rows into
+# BENCH_pipeline.json and fails unless the pooled streaming path is
+# 2x the single-connection seed baseline, cache hits are
+# allocation-free, and chunked 8 MB transfers keep interactive p99
+# bounded).
+.PHONY: saturation
+saturation:
+	go test -race -run 'TestPoolStripeFailureIsolation|TestPoolStripesRoundRobin|TestPoolAllStripesDead' -v ./internal/transport/
+	./scripts/bench_saturation.sh
+
 # Cluster gate: the E31 chaos experiment (replica kill, shard
 # partition, heal-while-streaming against the sharded replicated
 # store) under the race detector, plus the availability/latency
@@ -69,7 +81,7 @@ cluster:
 # see.
 .PHONY: racestress
 racestress:
-	go test -race -count=5 -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce|TestEnqueueBlockedCallersReleasedOnConnDeath|TestWriteLoopSkipsAbandonedFrames|TestConnDeathFailsAllInFlight|TestCallTimeoutKeepsConnection' ./internal/transport/
+	go test -race -count=5 -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce|TestEnqueueBlockedCallersReleasedOnConnDeath|TestWriteLoopSkipsAbandonedFrames|TestConnDeathFailsAllInFlight|TestCallTimeoutKeepsConnection|TestPoolStripeFailureIsolation' ./internal/transport/
 	go test -race -count=5 -run 'TestSingleflight|TestFillErrorNotCached|TestConcurrentMixedKeys' ./internal/cache/
 	go test -race -count=5 -run 'TestReplicaFailoverMidStream|TestReadFailoverReplicaDown|TestReplicationHealsAfterPartition' ./internal/cluster/
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -1420,4 +1421,214 @@ func BenchmarkE31ClusterAvailability(b *testing.B) {
 	if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkTransportSaturation — E32, the hardware-limited transport
+// gate. Unlike E29 there is NO modeled store latency: the server
+// answers as fast as the host can drive the wire, so the numbers are
+// the transport's own ceiling. Three questions, one answer file
+// (merged into BENCH_pipeline.json under "saturation"):
+//
+//   - pooling: 64 callers fetching a 64 KB object over the chunked
+//     binary GetContentStream path, striped over 1 connection vs the
+//     default 4-connection pool (rpc/s, MB/s, allocs/op);
+//   - allocation-free decode: allocs per cache-hit GetContent, which
+//     the shared-record handoff drops to zero copies;
+//   - fairness: the p99 of concurrent 1 KB calls while an 8 MB object
+//     streams down the same connection, against the idle p99 — chunks
+//     bound how long the big transfer may occupy the wire.
+//
+// The host context matters for the pool line: on a single-CPU box the
+// transport is CPU-bound, so striping buys contention relief, not
+// parallel syscalls — the JSON records NumCPU alongside the ratio.
+func BenchmarkTransportSaturation(b *testing.B) {
+	const (
+		ref      = "bench/sat-64k.mpg"
+		smallRef = "bench/sat-1k.txt"
+		bigRef   = "bench/sat-8m.mpg"
+		callers  = 64
+	)
+	content := make([]byte, 64<<10)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	store := mediastore.New()
+	if err := store.PutContent(ref, "mpeg", content); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.PutContent(smallRef, "ascii", make([]byte, 1<<10)); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.PutContent(bigRef, "mpeg", make([]byte, 8<<20)); err != nil {
+		b.Fatal(err)
+	}
+	mux := transport.NewMux()
+	transport.RegisterStore(mux, store)
+	srv := transport.NewTCPServer(mux)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	saturate := func(b *testing.B, fetch func() error) float64 {
+		per := (b.N + callers - 1) / callers
+		errc := make(chan error, callers)
+		b.SetBytes(int64(len(content)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := fetch(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+		thr := float64(per*callers) / elapsed.Seconds()
+		b.ReportMetric(thr, "rpcs/sec")
+		b.ReportMetric(thr*float64(len(content))/1e6, "MB/sec")
+		return thr
+	}
+
+	// The seed-shaped baseline: gob-decoded GetContent over one
+	// connection — what every fetch paid before this change.
+	var gobRPCs float64
+	b.Run(fmt.Sprintf("gob/conns=1/callers=%d", callers), func(b *testing.B) {
+		base, err := transport.DialTCP(bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer base.Close()
+		db := transport.DBClient{C: base}
+		gobRPCs = saturate(b, func() error { _, err := db.GetContent(ref); return err })
+	})
+
+	rpcs := map[int]float64{}
+	for _, conns := range []int{1, transport.DefaultPoolConns} {
+		conns := conns
+		b.Run(fmt.Sprintf("stream/conns=%d/callers=%d", conns, callers), func(b *testing.B) {
+			pool, err := transport.DialTCPPool(bound, conns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			db := transport.DBClient{C: pool}
+			rpcs[conns] = saturate(b, func() error { _, err := db.GetContentStream(ref, nil); return err })
+		})
+	}
+
+	// Allocation-free decode: the cache-hit path returns the shared
+	// record — no defensive copy, no gob. Counted outside b.N so the
+	// number lands in the JSON whatever -benchtime says.
+	cli, err := transport.DialTCP(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	cached := transport.DBClient{C: cli}.WithContentCache(cache.New("bench-sat", 64<<20))
+	if _, err := cached.GetContent(ref); err != nil {
+		b.Fatal(err)
+	}
+	hitAllocs := testing.AllocsPerRun(1000, func() {
+		if _, err := cached.GetContent(ref); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Fairness: p99 of 1 KB interactive calls through the deployment's
+	// default connection pool while that same pool is otherwise idle,
+	// then while it concurrently carries an 8 MB chunked stream end to
+	// end — the navigator shape: one student clicking around while a
+	// clip streams. Chunk bounds are what keep the tail sane: the big
+	// transfer can never occupy a stripe for more than one chunk.
+	inter, err := transport.DialTCPPool(bound, transport.DefaultPoolConns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inter.Close()
+	interDB := transport.DBClient{C: inter}
+	measureP99 := func(samples int) float64 {
+		var lat sim.Series
+		for i := 0; i < samples; i++ {
+			start := time.Now()
+			if _, err := interDB.GetContent(smallRef); err != nil {
+				b.Fatal(err)
+			}
+			lat.AddDuration(time.Since(start))
+		}
+		return lat.Percentile(99)
+	}
+	const samples = 1500
+	idleP99 := measureP99(samples)
+	underLoad := func(fetch func() error) float64 {
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				if err := fetch(); err != nil {
+					done <- err
+					return
+				}
+			}
+		}()
+		p99 := measureP99(samples)
+		close(stop)
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		return p99
+	}
+	// Chunked: a pure consumer draining the clip through the sink
+	// (nothing retained), back to back — a stream is always in flight.
+	chunkedP99 := underLoad(func() error {
+		_, err := interDB.GetContentStream(bigRef, func([]byte) error { return nil })
+		return err
+	})
+	// Monolithic: the same 8 MB object fetched the pre-chunking way,
+	// one giant frame per call — what every neighbour used to sit
+	// behind.
+	monolithicP99 := underLoad(func() error {
+		_, err := interDB.GetContent(bigRef)
+		return err
+	})
+
+	mergeBenchJSON(b, "BENCH_pipeline.json", map[string]any{"saturation": map[string]any{
+		"benchmark":                               "E32TransportSaturation",
+		"content_bytes":                           len(content),
+		"callers":                                 callers,
+		"num_cpu":                                 runtime.NumCPU(),
+		"rpcs_per_sec":                            map[string]float64{"gob_conns_1": gobRPCs, "conns_1": rpcs[1], "conns_4": rpcs[transport.DefaultPoolConns]},
+		"mb_per_sec":                              map[string]float64{"gob_conns_1": gobRPCs * float64(len(content)) / 1e6, "conns_1": rpcs[1] * float64(len(content)) / 1e6, "conns_4": rpcs[transport.DefaultPoolConns] * float64(len(content)) / 1e6},
+		"pool_speedup_same_codec":                 rpcs[transport.DefaultPoolConns] / rpcs[1],
+		"speedup_vs_single_conn_seed":             rpcs[transport.DefaultPoolConns] / gobRPCs,
+		"accept_2x_vs_single_conn":                rpcs[transport.DefaultPoolConns] >= 2*gobRPCs,
+		"cache_hit_allocs_per_op":                 hitAllocs,
+		"interactive_p99_idle_ns":                 idleP99,
+		"interactive_p99_under_chunked_8mb_ns":    chunkedP99,
+		"interactive_p99_under_monolithic_8mb_ns": monolithicP99,
+		"interleave_p99_ratio":                    chunkedP99 / idleP99,
+		"chunking_tail_improvement":               monolithicP99 / chunkedP99,
+		"accept_interleave_within_2x":             chunkedP99 <= 2*idleP99,
+	}})
 }

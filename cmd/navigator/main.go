@@ -54,6 +54,7 @@ import (
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7121", "mitsd address")
+	conns := flag.Int("conns", transport.DefaultPoolConns, "pooled connections for the courseware database path")
 	statsAddr := flag.String("stats", "", "HTTP stats listen address (empty disables the endpoint)")
 	exportAddr := flag.String("export", "", "ship finished spans to the trace collector at this address")
 	flag.Parse()
@@ -80,7 +81,10 @@ func main() {
 		fmt.Printf("exporting spans to %s\n", *exportAddr)
 	}
 
-	dbConn, err := transport.DialTCP(*server)
+	// The courseware/content path is where the bandwidth goes (media
+	// fetches, streamed clips), so it gets the connection pool; the
+	// school path is chatty-but-small and keeps a single conn.
+	dbConn, err := transport.DialTCPPool(*server, *conns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cannot reach the TeleSchool at %s: %v\n", *server, err)
 		os.Exit(1)

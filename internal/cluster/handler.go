@@ -24,7 +24,12 @@ func (r *Router) HandleCtx(sc obs.SpanContext, method string, payload []byte) ([
 	// frame) outlive it — take a private copy once, up front.
 	payload = append([]byte(nil), payload...)
 	switch method {
-	case transport.MethodGetDoc, transport.MethodGetContent:
+	case transport.MethodGetDoc, transport.MethodGetContent, transport.MethodGetContentStream:
+		// GetContentStream chunks ride the ordinary keyed-read path:
+		// every chunk of one object hashes to the same shard (keyed by
+		// ref), the request and response payloads are forwarded
+		// verbatim (the router never reassembles), and each chunk
+		// independently walks the failover ladder.
 		key, err := transport.RequestKey(method, payload)
 		if err != nil {
 			return nil, err
@@ -55,6 +60,7 @@ func (r *Router) Register(m *transport.Mux) {
 		transport.MethodKeywordTree,
 		transport.MethodDocByKeyword,
 		transport.MethodGetContent,
+		transport.MethodGetContentStream,
 		transport.MethodPutDoc,
 		transport.MethodPutContent,
 	}

@@ -9,6 +9,7 @@ import (
 	"mits/internal/lint/chanwait"
 	"mits/internal/lint/ctxflow"
 	"mits/internal/lint/lockorder"
+	"mits/internal/lint/poolcheck"
 )
 
 // TestSuiteWellFormed pins the conventions every analyzer in the suite
@@ -90,6 +91,41 @@ func TestChanwaitGuardsTransportEnqueue(t *testing.T) {
 		}
 		for _, d := range diags {
 			t.Errorf("chanwait finding in transport (PR-5 hang class regressed?): %s", d.String())
+		}
+	}
+	if !checked {
+		t.Fatal("mits/internal/transport not among loaded packages")
+	}
+}
+
+// TestPoolcheckGuardsTransportOwnership is the immutable-bytes-handoff
+// tripwire: with pooled response buffers flowing out of readLoop into
+// MHEG decode and the content cache with no copy at the boundary, the
+// whole safety argument is the ownership discipline poolcheck verifies
+// (no use after releaseFrame/putBuf, release on every path). The real
+// transport package must stay clean — a new code path that touches a
+// released buffer fails this test before the race detector has to
+// catch the recycled-buffer corruption at runtime.
+func TestPoolcheckGuardsTransportOwnership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/transport")
+	}
+	pkgs, err := lint.Load("", "mits/internal/transport")
+	if err != nil {
+		t.Fatalf("loading transport: %v", err)
+	}
+	checked := false
+	for _, pkg := range pkgs {
+		if pkg.ImportPath != "mits/internal/transport" {
+			continue
+		}
+		checked = true
+		diags, err := lint.Run(poolcheck.Analyzer, pkg)
+		if err != nil {
+			t.Fatalf("poolcheck over transport: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("poolcheck finding in transport (pooled-buffer ownership regressed?): %s", d.String())
 		}
 	}
 	if !checked {

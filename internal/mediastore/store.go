@@ -226,10 +226,33 @@ func (s *Store) PutContent(ref, coding string, data []byte, keywords ...string) 
 // Aliasing audit (the record sits behind the navigator content cache,
 // where a shared byte slice would let one caller corrupt what every
 // other caller reads): the returned record is a deep copy — Data and
-// Keywords are cloned, never views of the store's internal slices. The
-// transport layer's cache applies the same copy-on-read on its side;
+// Keywords are cloned, never views of the store's internal slices, so
+// the caller may mutate it freely. Callers that only read (a server
+// handler about to serialize the record onto the wire) should use
+// GetContentBorrow and skip the copy.
 // TestGetContentDataIsPrivateCopy pins this end.
 func (s *Store) GetContent(ref string) (*ContentRecord, error) {
+	rec, err := s.GetContentBorrow(ref)
+	if err != nil {
+		return nil, err
+	}
+	cp := *rec
+	cp.Data = append([]byte(nil), rec.Data...)
+	cp.Keywords = append([]string(nil), rec.Keywords...)
+	return &cp, nil
+}
+
+// GetContentBorrow retrieves content by reference without copying: the
+// returned record is the store's own. It is safe to read indefinitely
+// — PutContent replaces records wholesale (fresh struct, fresh slices)
+// and never mutates one in place, so a borrowed record is immutable
+// for its lifetime; a concurrent republish simply leaves the borrower
+// reading the superseded snapshot. Borrowers must not write through
+// it. This is the serving hot path: a multi-MB media object is read
+// thousands of times per publish, and GetContent's defensive copy was
+// pure allocator load when the caller immediately re-serializes.
+// TestGetContentBorrowIsZeroCopy pins the no-copy end.
+func (s *Store) GetContentBorrow(ref string) (*ContentRecord, error) {
 	start := time.Now()
 	defer func() { s.obsGetContent.Observe(time.Since(start)) }()
 	s.mu.Lock()
@@ -244,10 +267,7 @@ func (s *Store) GetContent(ref string) (*ContentRecord, error) {
 	s.obsBytes.Add(int64(len(rec.Data)))
 	s.contentReads++
 	s.bytesOut += int64(len(rec.Data))
-	cp := *rec
-	cp.Data = append([]byte(nil), rec.Data...)
-	cp.Keywords = append([]string(nil), rec.Keywords...)
-	return &cp, nil
+	return rec, nil
 }
 
 // HasContent reports whether every given reference resolves, returning

@@ -333,3 +333,59 @@ func TestGetContentDataIsPrivateCopy(t *testing.T) {
 		t.Fatalf("caller mutation reached stored keywords: %v", again.Keywords)
 	}
 }
+
+// TestGetContentBorrowIsZeroCopy pins the other end of the borrow/clone
+// split: GetContentBorrow returns the store's own record — no copy at
+// all — which is what makes it the serving hot path.
+func TestGetContentBorrowIsZeroCopy(t *testing.T) {
+	s := New()
+	if err := s.PutContent("store/v.mpg", "mpeg", []byte{1, 2, 3}, "video"); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.GetContentBorrow("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.GetContentBorrow("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || &b1.Data[0] != &b2.Data[0] {
+		t.Fatal("GetContentBorrow copied: two borrows of one record differ")
+	}
+	cp, err := s.GetContent("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &cp.Data[0] == &b1.Data[0] {
+		t.Fatal("GetContent aliased the store's record: clone end broken")
+	}
+}
+
+// TestGetContentBorrowStableAcrossRepublish pins the immutability basis
+// of borrowing: PutContent replaces records wholesale, so a record
+// borrowed before a republish keeps reading the superseded snapshot —
+// it is never mutated underneath the borrower.
+func TestGetContentBorrowStableAcrossRepublish(t *testing.T) {
+	s := New()
+	if err := s.PutContent("store/v.mpg", "mpeg", []byte{1, 2, 3}, "video"); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.GetContentBorrow("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutContent("store/v.mpg", "mpeg", []byte{9, 9}, "video", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old.Data, []byte{1, 2, 3}) || len(old.Keywords) != 1 {
+		t.Fatalf("republish mutated a borrowed record: %v %v", old.Data, old.Keywords)
+	}
+	fresh, err := s.GetContentBorrow("store/v.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Data, []byte{9, 9}) {
+		t.Fatalf("fresh borrow missed the republish: %v", fresh.Data)
+	}
+}

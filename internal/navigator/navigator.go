@@ -409,3 +409,13 @@ func (n *Navigator) SearchLibrary(keyword string) ([]string, error) {
 func (n *Navigator) ReadLibrary(ref string) (*mediastore.ContentRecord, error) {
 	return n.db.GetContent(ref)
 }
+
+// ReadLibraryStream fetches a library holding as a sequence of bounded
+// chunks: sink sees each fragment as it arrives (valid only during the
+// callback), so a multi-MB holding renders progressively instead of
+// stalling the session behind one monolithic fetch — and the chunks
+// interleave fairly with the engine's other calls on the connection.
+// The assembled record is returned (and cached whole) like ReadLibrary.
+func (n *Navigator) ReadLibraryStream(ref string, sink func([]byte) error) (*mediastore.ContentRecord, error) {
+	return n.db.GetContentStream(ref, sink)
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"mits/internal/obs"
+)
+
+// Vectored write coalescing. The original writers put one frame on the
+// wire per Write call, so a pipelined burst of N small requests cost N
+// syscalls — and on this workload the syscall, not the encode,
+// dominates (E32). A batchWriter instead accumulates every frame
+// queued at wakeup into one reused scratch buffer and flushes the lot
+// with a single writev-shaped write (net.Buffers), bringing the
+// syscall cost of a burst down to ~1 regardless of its width.
+//
+// Frames small enough to share the scratch buffer are copied into it
+// back to back; frames larger than the scratch class get a pooled
+// segment of their own, spliced into the net.Buffers vector in wire
+// order so a big content chunk rides the same writev as the small
+// interactive frames around it without being re-copied into scratch.
+
+// batchScratchSize is the scratch buffer's capacity — one 64 KB pool
+// class. Typical interactive frames run ~100 bytes, so a full client
+// drain (sendQueueDepth frames) fits with room to spare; when a batch
+// genuinely overflows the scratch, add flushes mid-batch and keeps
+// going (an extra write per 64 KB of queued data, not per frame).
+const batchScratchSize = 64 << 10
+
+// obsWriteBatch is the transport_write_batch_size histogram: frames
+// per flush on the client writer and the server response writer. A
+// distribution stuck at 1 under concurrent load means coalescing has
+// regressed to frame-at-a-time writes.
+var obsWriteBatch = obs.GetHistogram("transport_write_batch_size")
+
+type batchWriter struct {
+	conn    net.Conn
+	scratch []byte      // small-frame accumulation, one pool class, reused across flushes
+	mark    int         // start of the scratch span not yet sealed into bufs
+	bufs    net.Buffers // this flush's wire segments, in order
+	pooled  [][]byte    // large-frame segments to recycle after the flush
+	frames  int         // frames encoded since the last observe/reset
+	bytes   int64       // wire bytes encoded since the last flush
+}
+
+func newBatchWriter(conn net.Conn) *batchWriter {
+	return &batchWriter{conn: conn, scratch: getBuf(batchScratchSize)}
+}
+
+// release returns the scratch buffer to the pool; the writer is dead
+// afterwards. Call once, when the owning goroutine exits.
+func (w *batchWriter) release() {
+	putBuf(w.scratch)
+	w.scratch = nil
+}
+
+// add encodes one frame into the pending batch, flushing mid-batch
+// only when the scratch buffer is full. The frame's payload is fully
+// copied by the time add returns, so the caller may recycle it
+// immediately.
+func (w *batchWriter) add(f *frame) error {
+	size := f.wireSize()
+	if size > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	need := 4 + size
+	if need > batchScratchSize {
+		// Too big to share scratch: encode into a pooled segment of its
+		// own and splice it into the vector at the current position.
+		seg := getBuf(need)
+		seg = binary.BigEndian.AppendUint32(seg, uint32(size))
+		seg = f.appendTo(seg)
+		w.seal()
+		w.bufs = append(w.bufs, seg)
+		w.pooled = append(w.pooled, seg)
+		w.frames++
+		w.bytes += int64(need)
+		return nil
+	}
+	if len(w.scratch)+need > cap(w.scratch) {
+		// Scratch is full; put what we have on the wire and keep going.
+		if err := w.flushWire(); err != nil {
+			return err
+		}
+	}
+	w.scratch = binary.BigEndian.AppendUint32(w.scratch, uint32(size))
+	w.scratch = f.appendTo(w.scratch)
+	w.frames++
+	w.bytes += int64(need)
+	return nil
+}
+
+// seal closes the open scratch span into its own wire segment. Later
+// adds append to the same backing array past mark, so sealed segments
+// stay valid until flushWire resets the scratch.
+func (w *batchWriter) seal() {
+	if len(w.scratch) > w.mark {
+		w.bufs = append(w.bufs, w.scratch[w.mark:len(w.scratch):len(w.scratch)])
+		w.mark = len(w.scratch)
+	}
+}
+
+// flushWire writes every pending segment with one syscall — a plain
+// Write for a single segment, writev via net.Buffers for several —
+// then recycles the large-frame segments and resets the scratch.
+func (w *batchWriter) flushWire() error {
+	w.seal()
+	if len(w.bufs) == 0 {
+		return nil
+	}
+	var err error
+	if len(w.bufs) == 1 {
+		_, err = w.conn.Write(w.bufs[0])
+	} else {
+		_, err = w.bufs.WriteTo(w.conn)
+	}
+	for i, seg := range w.pooled {
+		putBuf(seg)
+		w.pooled[i] = nil
+	}
+	w.pooled = w.pooled[:0]
+	w.bufs = w.bufs[:0]
+	w.scratch = w.scratch[:0]
+	w.mark = 0
+	if err == nil {
+		obsBytesTx.Add(w.bytes)
+	}
+	w.bytes = 0
+	return err
+}
+
+// flush ends a batch: puts pending segments on the wire and records
+// the batch width in the transport_write_batch_size histogram. The
+// histogram's unit is frames, not time; Observe takes a Duration so
+// the count rides the existing exposition unconverted.
+func (w *batchWriter) flush() error {
+	err := w.flushWire()
+	if w.frames > 0 {
+		obsWriteBatch.Observe(time.Duration(w.frames))
+		w.frames = 0
+	}
+	return err
+}

@@ -11,13 +11,18 @@ import "sync"
 // allocations (rare: a MaxFrame-sized pool would pin tens of MB).
 //
 // Ownership discipline — the reason recycling is safe:
-//   - write buffers (header + marshalled body) live only inside
-//     writeFrame; the kernel has copied them when Write returns;
+//   - write buffers (batch scratch and large-frame segments) live only
+//     inside the batchWriter; the kernel has copied them when the
+//     flush's Write/writev returns;
 //   - server request buffers are released after the handler returned
-//     AND its response was written (Handler documents that payloads
-//     do not outlive the call);
-//   - client response buffers are NEVER pooled: their payloads are
-//     handed to Call's caller, who owns them.
+//     AND its response was encoded into the batch (Handler documents
+//     that payloads do not outlive the call);
+//   - client response buffers are pooled too, but recycling is opt-in:
+//     the pooled call API (CallPooled / CallInTracePooled) hands the
+//     caller a release callback, and a caller that drops it — every
+//     plain Call — simply lets the buffer fall to the GC. putBuf runs
+//     only via release, so an un-released buffer can never be handed
+//     out twice.
 
 // bufClasses are the pooled capacities. The smallest covers the framed
 // control RPCs (list/keyword calls), the middle ones the typical

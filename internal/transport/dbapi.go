@@ -92,13 +92,17 @@ func RegisterStore(m *Mux, store *mediastore.Store) {
 			return nil, err
 		}
 		sp := obs.SpanFromContext("store.GetContent", "internal", sc)
-		rec, err := store.GetContent(req.Ref)
+		// Borrow, don't copy: the record is immediately re-serialized,
+		// so GetContent's defensive copy would be pure allocator load.
+		// Borrowed records are immutable and gob only reads them.
+		rec, err := store.GetContentBorrow(req.Ref)
 		sp.End(err)
 		if err != nil {
 			return nil, err
 		}
 		return gobEncode(rec)
 	})
+	registerContentStream(m, store)
 	m.Register(MethodPutDoc, func(_ string, payload []byte) ([]byte, error) {
 		var req putDocReq
 		if err := gobDecode(payload, &req); err != nil {
@@ -164,6 +168,9 @@ func RequestKey(method string, payload []byte) (string, error) {
 	case MethodPutContent:
 		var req putContentReq
 		return req.Ref, gobDecode(payload, &req)
+	case MethodGetContentStream:
+		ref, _, _, err := DecodeGetContentStream(payload)
+		return ref, err
 	}
 	return "", fmt.Errorf("%w: %s", ErrUnkeyedMethod, method)
 }
@@ -202,13 +209,15 @@ type DBClient struct {
 	C Client
 
 	// ContentCache, when non-nil, serves repeated GetContent /
-	// FetchContent calls from local memory instead of the wire: a
-	// size-bounded LRU with singleflight, so a stampede of scene
-	// activations fetching the same MPEG object issues one upstream
-	// RPC. Hits and misses both return a private copy of the record
-	// (copy-on-read) — callers may mutate what they get without
-	// corrupting the shared cache. Nil means every call goes upstream
-	// (the experiments keep it nil so store read counts stay exact).
+	// GetContentStream / FetchContent calls from local memory instead
+	// of the wire: a size-bounded LRU with singleflight, so a stampede
+	// of scene activations fetching the same MPEG object issues one
+	// upstream RPC. Records that pass through the cache are shared
+	// under the immutable-bytes handoff contract: every hit returns
+	// the same record and callers must not mutate it
+	// (CloneContentRecord for the rare caller that must). Nil means
+	// every call goes upstream (the experiments keep it nil so store
+	// read counts stay exact).
 	ContentCache *cache.Cache
 
 	// Trace, when non-zero, is the span context every call continues —
@@ -236,6 +245,25 @@ func (d DBClient) call(method string, payload []byte) ([]byte, error) {
 	return CallInTrace(d.C, d.Trace, method, payload)
 }
 
+// callPooled is call through the allocation-free decode path: the
+// response may be backed by a pooled buffer that the returned release
+// (when non-nil) recycles. Used by the typed methods, which gob-decode
+// (copying everything out) and release before returning.
+func (d DBClient) callPooled(method string, payload []byte) ([]byte, func(), error) {
+	return CallInTracePooled(d.C, d.Trace, method, payload)
+}
+
+// decodeReleased gob-decodes a pooled response into v and recycles the
+// response buffer: gob copies every byte it keeps, so nothing aliases
+// the buffer once Decode returns.
+func decodeReleased(payload []byte, rel func(), v any) error {
+	err := gobDecode(payload, v)
+	if rel != nil {
+		rel()
+	}
+	return err
+}
+
 // Do issues one raw, already-encoded RPC through the client's full
 // stack (trace, breaker, retry — whatever the carrier composes). It is
 // the forwarding hook for proxies that route by inspecting the payload
@@ -247,12 +275,12 @@ func (d DBClient) Do(method string, payload []byte) ([]byte, error) {
 
 // GetListDoc returns the stored document names.
 func (d DBClient) GetListDoc() ([]string, error) {
-	payload, err := d.call(MethodListDocs, nil)
+	payload, rel, err := d.callPooled(MethodListDocs, nil)
 	if err != nil {
 		return nil, err
 	}
 	var names []string
-	return names, gobDecode(payload, &names)
+	return names, decodeReleased(payload, rel, &names)
 }
 
 // GetSelectedDoc retrieves one document by name.
@@ -261,22 +289,22 @@ func (d DBClient) GetSelectedDoc(name string) (*mediastore.DocRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.call(MethodGetDoc, req)
+	payload, rel, err := d.callPooled(MethodGetDoc, req)
 	if err != nil {
 		return nil, err
 	}
 	var rec mediastore.DocRecord
-	return &rec, gobDecode(payload, &rec)
+	return &rec, decodeReleased(payload, rel, &rec)
 }
 
 // GetKeywordTree retrieves the library's keyword hierarchy.
 func (d DBClient) GetKeywordTree() (*mediastore.KeywordNode, error) {
-	payload, err := d.call(MethodKeywordTree, nil)
+	payload, rel, err := d.callPooled(MethodKeywordTree, nil)
 	if err != nil {
 		return nil, err
 	}
 	var tree mediastore.KeywordNode
-	return &tree, gobDecode(payload, &tree)
+	return &tree, decodeReleased(payload, rel, &tree)
 }
 
 // GetDocByKeyword finds documents by keyword path.
@@ -285,17 +313,23 @@ func (d DBClient) GetDocByKeyword(keyword string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.call(MethodDocByKeyword, req)
+	payload, rel, err := d.callPooled(MethodDocByKeyword, req)
 	if err != nil {
 		return nil, err
 	}
 	var names []string
-	return names, gobDecode(payload, &names)
+	return names, decodeReleased(payload, rel, &names)
 }
 
 // GetContent fetches a content object's data by reference, consulting
-// the content cache when one is attached. The returned record is
-// always the caller's own copy when it came through the cache.
+// the content cache when one is attached. Records served through the
+// cache are SHARED under the immutable-bytes handoff contract: every
+// hit returns the same record, callers must treat it as read-only, and
+// CloneContentRecord gives a private copy to the rare caller that
+// needs to mutate. (The cache boundary used to clone defensively on
+// every hit; at pipelined rates that copy dominated the hit cost —
+// E32 — and the poolcheck tripwire now enforces the no-aliasing side
+// of the bargain in the transport itself.)
 func (d DBClient) GetContent(ref string) (*mediastore.ContentRecord, error) {
 	if d.ContentCache == nil {
 		return d.fetchContent(ref)
@@ -310,26 +344,31 @@ func (d DBClient) GetContent(ref string) (*mediastore.ContentRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cloneContentRecord(v.(*mediastore.ContentRecord)), nil
+	return v.(*mediastore.ContentRecord), nil
 }
 
-// fetchContent is the uncached upstream path.
+// fetchContent is the uncached upstream path. The gob decode copies
+// the record out of the (pooled) response before it is recycled, so
+// the returned record owns its memory — which is exactly what the
+// cache's immutable handoff needs.
 func (d DBClient) fetchContent(ref string) (*mediastore.ContentRecord, error) {
 	req, err := gobEncode(getContentReq{Ref: ref})
 	if err != nil {
 		return nil, err
 	}
-	payload, err := d.call(MethodGetContent, req)
+	payload, rel, err := d.callPooled(MethodGetContent, req)
 	if err != nil {
 		return nil, err
 	}
 	var rec mediastore.ContentRecord
-	return &rec, gobDecode(payload, &rec)
+	return &rec, decodeReleased(payload, rel, &rec)
 }
 
-// cloneContentRecord is the cache's copy-on-read: the cached record's
-// slices are shared by every hit, so each caller gets private copies.
-func cloneContentRecord(rec *mediastore.ContentRecord) *mediastore.ContentRecord {
+// CloneContentRecord deep-copies a record — the escape hatch for
+// callers that need to mutate what GetContent/GetContentStream
+// returned, now that cached records are shared rather than cloned on
+// every hit.
+func CloneContentRecord(rec *mediastore.ContentRecord) *mediastore.ContentRecord {
 	cp := *rec
 	cp.Data = append([]byte(nil), rec.Data...)
 	cp.Keywords = append([]string(nil), rec.Keywords...)

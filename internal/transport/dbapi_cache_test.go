@@ -51,14 +51,24 @@ func TestDBClientContentCacheHitAvoidsUpstream(t *testing.T) {
 		t.Fatal("hit returned different bytes than the miss")
 	}
 
-	// Copy-on-read: mutating a hit must not poison later hits.
-	rec2.Data[0] = 'X'
+	// Immutable-bytes handoff: hits share one record (zero copies on
+	// the hot path), so repeat hits must return the same backing data,
+	// and a caller that needs a private mutable copy goes through
+	// CloneContentRecord instead of mutating the shared one.
 	rec3, err := db.GetContent("store/v.mpg")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if &rec2.Data[0] != &rec3.Data[0] {
+		t.Fatal("cache hits did not share the record: hot path is copying")
+	}
+	cp := CloneContentRecord(rec3)
+	if &cp.Data[0] == &rec3.Data[0] {
+		t.Fatal("CloneContentRecord aliased the shared entry's data")
+	}
+	cp.Data[0] = 'X'
 	if rec3.Data[0] == 'X' {
-		t.Fatal("caller mutation reached the shared cache entry")
+		t.Fatal("clone mutation reached the shared cache entry")
 	}
 }
 

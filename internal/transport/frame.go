@@ -68,9 +68,11 @@ type frame struct {
 	payload []byte
 
 	// buf, when non-nil, is the pooled backing buffer this frame was
-	// decoded from; release returns it for reuse. Only the server's
-	// request path sets it — response payloads handed to Call's caller
-	// are caller-owned and never recycled.
+	// decoded from; releaseFrame returns it for reuse. The server's
+	// request path recycles it after the response is encoded; the
+	// client's response path recycles it only through the pooled call
+	// API's release callback (a plain Call's payload is caller-owned
+	// and falls to the GC).
 	buf []byte
 }
 
@@ -293,6 +295,29 @@ func CallInTrace(c Client, sc obs.SpanContext, method string, payload []byte) ([
 		return tc.CallInTrace(sc, method, payload)
 	}
 	return c.Call(method, payload)
+}
+
+// PooledTraceCaller is the optional client interface of the
+// allocation-free decode path: the returned payload may be backed by a
+// pooled buffer that release (when non-nil) recycles. The contract is
+// strict — after release the payload and anything aliasing it are
+// invalid, and release must be called at most once — but opting out is
+// always safe: drop release and the buffer falls to the GC like any
+// other allocation.
+type PooledTraceCaller interface {
+	CallInTracePooled(sc obs.SpanContext, method string, payload []byte) ([]byte, func(), error)
+}
+
+// CallInTracePooled issues a call through the pooled decode path when
+// the client supports it, degrading to CallInTrace (nil release, plain
+// heap payload) when it does not — resilience wrappers and test fakes
+// keep working unchanged, they just skip the recycling.
+func CallInTracePooled(c Client, sc obs.SpanContext, method string, payload []byte) ([]byte, func(), error) {
+	if pc, ok := c.(PooledTraceCaller); ok {
+		return pc.CallInTracePooled(sc, method, payload)
+	}
+	out, err := CallInTrace(c, sc, method, payload)
+	return out, nil, err
 }
 
 // Loopback adapts a Handler into an in-process Client, used by unit

@@ -21,6 +21,15 @@ func FuzzFrameDecode(f *testing.F) {
 		{kind: kindRequest, id: 12, corr: 12, trace: 0xfeed, span: 0x7, method: "db.GetContent"},
 		{kind: kindResponse, id: 12, corr: 12, trace: 0xfeed, span: 0x7, payload: []byte{9}},
 		{kind: kindResponse, id: 13, corr: 13, errText: "transport: unknown method"},
+		// GetContentStream traffic: a chunk request and chunk responses,
+		// including the shapes the stream checks exist for — one
+		// truncated mid-chunk, one with an out-of-order index, one
+		// zero-length terminal chunk.
+		{kind: kindRequest, id: 14, corr: 14, method: MethodGetContentStream, payload: mustStreamReq("store/v.mpg", 0, 262144)},
+		{kind: kindResponse, id: 14, corr: 14, payload: mustChunk(&ContentChunk{Ref: "store/v.mpg", Coding: "MPEG", Total: 8, Data: []byte("01234567"), Last: true, Keywords: []string{"video"}})},
+		{kind: kindResponse, id: 15, corr: 15, payload: mustChunk(&ContentChunk{Ref: "store/v.mpg", Coding: "MPEG", Total: 1 << 20, Offset: 262144, Index: 1, Data: []byte("partial")})[:20]},
+		{kind: kindResponse, id: 16, corr: 16, payload: mustChunk(&ContentChunk{Ref: "store/v.mpg", Coding: "MPEG", Total: 1 << 20, Offset: 262144, Index: 7, Data: []byte("ooo")})},
+		{kind: kindResponse, id: 17, corr: 17, payload: mustChunk(&ContentChunk{Ref: "store/empty", Coding: "MPEG", Total: 0, Last: true})},
 	} {
 		f.Add(fr.marshal())
 	}
@@ -49,6 +58,59 @@ func FuzzFrameDecode(f *testing.F) {
 		// only when the frame carried one.
 		if fr.corr != 0 && fr2.corr != fr.corr {
 			t.Fatalf("round trip dropped correlation ID:\n%+v\n%+v", fr, fr2)
+		}
+	})
+}
+
+// mustStreamReq / mustChunk build fuzz seeds; the inputs are static and
+// known-good, so an encode failure is a seed bug worth a panic.
+func mustStreamReq(ref string, offset uint64, maxBytes uint32) []byte {
+	b, err := EncodeGetContentStream(ref, offset, maxBytes)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func mustChunk(c *ContentChunk) []byte {
+	b, err := AppendContentChunk(nil, c)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FuzzContentChunkDecode throws arbitrary bytes at the chunk and
+// stream-request decoders. Anything that decodes must re-encode and
+// re-decode to the same chunk — and never alias beyond the payload.
+func FuzzContentChunkDecode(f *testing.F) {
+	f.Add(mustStreamReq("store/v.mpg", 1<<20, 262144))
+	f.Add(mustChunk(&ContentChunk{Ref: "store/v.mpg", Coding: "MPEG", Total: 8, Data: []byte("01234567"), Last: true, Keywords: []string{"video", "atm/demo"}}))
+	f.Add(mustChunk(&ContentChunk{Ref: "r", Total: 0, Last: true}))
+	f.Add(mustChunk(&ContentChunk{Ref: "store/v.mpg", Coding: "MPEG", Total: 1 << 20, Offset: 262144, Index: 1, Data: []byte("mid")})[:12])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ref, off, maxBytes, err := DecodeGetContentStream(data); err == nil {
+			re := mustStreamReq(ref, off, maxBytes)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("stream request round trip changed: %x -> %x", data, re)
+			}
+		}
+		c, err := DecodeContentChunk(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendContentChunk(nil, c)
+		if err != nil {
+			t.Fatalf("decoded chunk failed to re-encode: %v", err)
+		}
+		c2, err := DecodeContentChunk(re)
+		if err != nil {
+			t.Fatalf("re-encoded chunk failed to decode: %v", err)
+		}
+		if c2.Ref != c.Ref || c2.Coding != c.Coding || c2.Index != c.Index ||
+			c2.Offset != c.Offset || c2.Total != c.Total || c2.Last != c.Last ||
+			!bytes.Equal(c2.Data, c.Data) {
+			t.Fatalf("chunk round trip changed:\n%+v\n%+v", c, c2)
 		}
 	})
 }

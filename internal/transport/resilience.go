@@ -63,12 +63,13 @@ const MethodObsExport = "obs.Export"
 // a failure whose outcome is unknown. Span export rides along: the
 // collector dedupes spans by ID, so a duplicate batch is absorbed.
 var idempotentMethods = map[string]bool{
-	MethodListDocs:     true,
-	MethodGetDoc:       true,
-	MethodKeywordTree:  true,
-	MethodDocByKeyword: true,
-	MethodGetContent:   true,
-	MethodObsExport:    true,
+	MethodListDocs:         true,
+	MethodGetDoc:           true,
+	MethodKeywordTree:      true,
+	MethodDocByKeyword:     true,
+	MethodGetContent:       true,
+	MethodGetContentStream: true, // each chunk is an independent read
+	MethodObsExport:        true,
 }
 
 // IsIdempotent reports whether method is safe to retry blindly.
@@ -281,17 +282,26 @@ func NewRetryClient(dial Dialer, policy RetryPolicy, seed uint64) *RetryClient {
 
 // Call implements Client with the retry loop.
 func (r *RetryClient) Call(method string, payload []byte) ([]byte, error) {
-	return r.call(obs.SpanContext{}, method, payload)
+	out, _, err := r.call(obs.SpanContext{}, method, payload, false)
+	return out, err
 }
 
 // CallInTrace implements TraceCaller: each attempt's client span
 // continues the caller's trace, so retries appear as sibling spans
 // under the same parent.
 func (r *RetryClient) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
-	return r.call(sc, method, payload)
+	out, _, err := r.call(sc, method, payload, false)
+	return out, err
 }
 
-func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
+// CallInTracePooled implements PooledTraceCaller with the same retry
+// loop: the release of the winning attempt's response is handed
+// through (nil when the inner carrier does not pool).
+func (r *RetryClient) CallInTracePooled(sc obs.SpanContext, method string, payload []byte) ([]byte, func(), error) {
+	return r.call(sc, method, payload, true)
+}
+
+func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte, pooled bool) ([]byte, func(), error) {
 	p := r.policy
 	var lastErr error
 	for attempt := 1; attempt <= p.Attempts; attempt++ {
@@ -310,18 +320,24 @@ func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([
 		cl, err := r.client()
 		if err != nil {
 			if errors.Is(err, errRetryClientClosed) {
-				return nil, &CallError{Method: method, Attempts: attempt, Err: err}
+				return nil, nil, &CallError{Method: method, Attempts: attempt, Err: err}
 			}
 			obs.GetCounter("transport_dial_errors_total").Inc()
 			lastErr = fmt.Errorf("%w: %w", ErrDial, err)
 			continue // nothing was sent: always safe to retry
 		}
-		out, err := CallInTrace(cl, sc, method, payload)
+		var out []byte
+		var rel func()
+		if pooled {
+			out, rel, err = CallInTracePooled(cl, sc, method, payload)
+		} else {
+			out, err = CallInTrace(cl, sc, method, payload)
+		}
 		if err == nil {
 			if attempt > 1 {
 				obs.GetCounter("transport_retry_recoveries_total", "method", method).Inc()
 			}
-			return out, nil
+			return out, rel, nil
 		}
 		lastErr = err
 		var remote *RemoteError
@@ -333,7 +349,7 @@ func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([
 			// is discarded harmlessly and the connection stays good —
 			// tearing it down would fail every neighbouring in-flight
 			// call for one slow one (per-call, not per-connection).
-			r.discard(cl)
+			r.discardIfDead(cl)
 		}
 		if !p.Retryable(method, err) {
 			break
@@ -341,9 +357,9 @@ func (r *RetryClient) call(sc obs.SpanContext, method string, payload []byte) ([
 	}
 	var ce *CallError
 	if errors.As(lastErr, &ce) {
-		return nil, lastErr // already typed by the inner client
+		return nil, nil, lastErr // already typed by the inner client
 	}
-	return nil, &CallError{Method: method, Attempts: p.Attempts, Err: lastErr}
+	return nil, nil, &CallError{Method: method, Attempts: p.Attempts, Err: lastErr}
 }
 
 var errRetryClientClosed = errors.New("transport: retry client closed")
@@ -372,6 +388,24 @@ func (r *RetryClient) client() (Client, error) {
 	}
 	r.cur = c
 	return c, nil
+}
+
+// healthReporter is the optional self-health probe a client may
+// expose: nil while still usable, the terminal error once dead. A
+// ClientPool uses it to survive single-stripe deaths — one dead
+// connection out of four is routed around inside the pool, and only a
+// fully-dead pool is worth discarding and redialing.
+type healthReporter interface{ Err() error }
+
+// discardIfDead discards a client after a transport-level failure —
+// unless the client itself reports it is still usable (a pool with
+// live stripes left), in which case tearing it down would kill the
+// healthy stripes' in-flight calls for one conn's fault.
+func (r *RetryClient) discardIfDead(cl Client) {
+	if hr, ok := cl.(healthReporter); ok && hr.Err() == nil {
+		return
+	}
+	r.discard(cl)
 }
 
 // discard drops a failed connection so the next attempt redials. The
@@ -575,6 +609,22 @@ func (bc *BreakerClient) call(sc obs.SpanContext, method string, payload []byte)
 		bc.b.Record(err)
 	}
 	return out, err
+}
+
+// CallInTracePooled implements PooledTraceCaller: the pooled path gets
+// the same fast-fail guard and outcome accounting.
+func (bc *BreakerClient) CallInTracePooled(sc obs.SpanContext, method string, payload []byte) ([]byte, func(), error) {
+	if err := bc.b.Allow(); err != nil {
+		return nil, nil, &CallError{Method: method, Err: err}
+	}
+	out, rel, err := CallInTracePooled(bc.c, sc, method, payload)
+	var remote *RemoteError
+	if err != nil && errors.As(err, &remote) {
+		bc.b.Record(nil)
+	} else {
+		bc.b.Record(err)
+	}
+	return out, rel, err
 }
 
 // Close implements Client.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -281,7 +282,9 @@ func (s *TCPServer) acceptLoop(l net.Listener) {
 // serveConn is one connection's read loop: it decodes requests in
 // arrival order and hands each to a bounded worker goroutine, so a
 // slow query (a big GetContent) does not convoy the fast ones queued
-// behind it on the same connection.
+// behind it on the same connection. Completed responses funnel through
+// a per-connection flush-combining writer that coalesces everything
+// queued at each flush into one vectored write.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -290,19 +293,26 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var handlers sync.WaitGroup
-	defer handlers.Wait() // all workers done before the conn is torn down
 	maxInFlight := s.MaxInFlight
 	if maxInFlight <= 0 {
 		maxInFlight = DefaultMaxInFlight
 	}
+	rw := newRespWriter(conn, s.ConnTimeout)
+	var handlers sync.WaitGroup
+	defer func() {
+		handlers.Wait() // all workers done (and their responses flushed) ...
+		rw.close()      // ... then the writer's scratch goes back to the pool
+	}()
 	sem := make(chan struct{}, maxInFlight)
-	var writeMu sync.Mutex // serializes response frames onto the conn
+	// Frame reads go through one buffered reader, so a burst of small
+	// pipelined requests costs ~1 read syscall, not 2 per frame
+	// (header + body). Deadlines still arm on the conn itself.
+	br := bufio.NewReaderSize(conn, batchScratchSize)
 	for {
 		if s.ConnTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.ConnTimeout))
 		}
-		req, err := readFrame(conn, true)
+		req, err := readFrame(br, true)
 		if err != nil {
 			return
 		}
@@ -315,15 +325,126 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		go func(req *frame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			s.handleRequest(conn, &writeMu, req)
+			s.handleRequest(rw, req)
 		}(req)
 	}
 }
 
-// handleRequest runs the handler for one decoded request and writes
-// its response, echoing the correlation ID (and trace context) so the
-// multiplexed client can match it however late it completes.
-func (s *TCPServer) handleRequest(conn net.Conn, writeMu *sync.Mutex, req *frame) {
+// respEntry pairs a completed response with the request frame whose
+// pooled buffer it may alias; the writer recycles the request only
+// after the response bytes are encoded.
+type respEntry struct {
+	resp *frame
+	req  *frame
+}
+
+// respWriter is a connection's flush-combining response writer. A
+// handler finishing alone writes its response directly (a batch of
+// one, same syscall count as the old mutex-serialized path, no
+// goroutine handoff); handlers finishing while another holds the wire
+// just queue theirs and return — the active flusher keeps draining the
+// queue into vectored writes until it is empty. Under load the batch
+// width approaches the number of concurrently completing handlers
+// without a dedicated writer goroutine's wakeup latency on the
+// critical path.
+type respWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	mu     sync.Mutex
+	w      *batchWriter
+	queue  []respEntry // responses awaiting the active flusher
+	spare  []respEntry // recycled queue backing to keep enqueue alloc-free
+	active bool        // a flusher is draining the queue
+	dead   bool        // write failed or conn torn down; discard from now on
+}
+
+func newRespWriter(conn net.Conn, timeout time.Duration) *respWriter {
+	return &respWriter{conn: conn, timeout: timeout, w: newBatchWriter(conn)}
+}
+
+// enqueue hands one completed response to the writer. It never blocks
+// on the network on behalf of another handler's response: the caller
+// either becomes the flusher (and writes, possibly for others too) or
+// appends and returns.
+func (rw *respWriter) enqueue(e respEntry) {
+	rw.mu.Lock()
+	if rw.dead {
+		rw.mu.Unlock()
+		releaseFrame(e.req)
+		return
+	}
+	rw.queue = append(rw.queue, e)
+	if rw.active {
+		rw.mu.Unlock() // the current flusher will take it
+		return
+	}
+	rw.active = true
+	for len(rw.queue) > 0 && !rw.dead {
+		batch := rw.queue
+		rw.queue = rw.spare[:0]
+		rw.mu.Unlock()
+
+		if rw.timeout > 0 {
+			_ = rw.conn.SetWriteDeadline(time.Now().Add(rw.timeout))
+		}
+		var werr error
+		for _, be := range batch {
+			if werr == nil {
+				werr = rw.w.add(be.resp)
+			}
+			// add copied the response out (or the write is already
+			// failed); the request buffer it may alias is recyclable.
+			releaseFrame(be.req)
+		}
+		if werr == nil {
+			werr = rw.w.flush()
+		}
+
+		rw.mu.Lock()
+		rw.spare = batch[:0]
+		if werr != nil && !rw.dead {
+			rw.dead = true
+			// The read loop cannot observe a worker's write failure;
+			// close the conn so it stops admitting requests nobody can
+			// answer.
+			rw.conn.Close()
+		}
+	}
+	if rw.dead {
+		rw.discardLocked()
+	}
+	rw.active = false
+	rw.mu.Unlock()
+}
+
+// discardLocked releases everything still queued. Caller holds mu.
+func (rw *respWriter) discardLocked() {
+	for _, e := range rw.queue {
+		releaseFrame(e.req)
+	}
+	rw.queue = rw.queue[:0]
+}
+
+// close marks the writer dead and recycles its scratch. Called after
+// every handler has returned, so no flusher is active and nothing can
+// enqueue afterwards.
+func (rw *respWriter) close() {
+	rw.mu.Lock()
+	rw.dead = true
+	rw.discardLocked()
+	if rw.w != nil {
+		rw.w.release()
+		rw.w = nil
+	}
+	rw.mu.Unlock()
+}
+
+// handleRequest runs the handler for one decoded request and queues
+// its response for the connection's writer, echoing the correlation ID
+// (and trace context) so the multiplexed client can match it however
+// late it completes.
+func (s *TCPServer) handleRequest(rw *respWriter, req *frame) {
 	// Server span: joins the trace the client stamped into the frame
 	// header (nil span when the request is untraced).
 	var sp *obs.Span
@@ -351,20 +472,10 @@ func (s *TCPServer) handleRequest(conn net.Conn, writeMu *sync.Mutex, req *frame
 		resp.errText = herr.Error()
 		resp.payload = nil
 	}
-	writeMu.Lock()
-	if s.ConnTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(s.ConnTimeout))
-	}
-	err := writeFrame(conn, resp)
-	writeMu.Unlock()
-	// The response may alias the request payload (echo-style handlers),
-	// so the request buffer is recycled only after the write.
-	releaseFrame(req)
-	if err != nil {
-		// The read loop cannot observe a worker's write failure; close
-		// the conn so it stops admitting requests nobody can answer.
-		conn.Close()
-	}
+	// The response may alias the request payload (echo-style handlers);
+	// the writer recycles the request buffer only after encoding the
+	// response, so the pair travels together.
+	rw.enqueue(respEntry{resp: resp, req: req})
 }
 
 // Close stops the listener and all connections, waiting for serving
@@ -484,6 +595,8 @@ func NewTCPClient(conn net.Conn) *TCPClient {
 
 // Call implements Client: issue a request, wait for its response.
 // Safe for concurrent use; calls pipeline onto the one connection.
+// The returned payload is caller-owned: its backing buffer is simply
+// left to the GC (never recycled), so holding it forever is safe.
 func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 	out, _, err := c.CallTraced(method, payload)
 	return out, err
@@ -495,7 +608,8 @@ func (c *TCPClient) Call(method string, payload []byte) ([]byte, error) {
 // trace whose IDs ride the frame header, so the server's span lands in
 // the same trace as the client's.
 func (c *TCPClient) CallTraced(method string, payload []byte) ([]byte, obs.TraceID, error) {
-	return c.callSpan(obs.StartSpan(method, "client"), method, payload)
+	out, _, trace, err := c.callSpan(obs.StartSpan(method, "client"), method, payload)
+	return out, trace, err
 }
 
 // CallInTrace implements TraceCaller: the client span continues the
@@ -503,22 +617,65 @@ func (c *TCPClient) CallTraced(method string, payload []byte) ([]byte, obs.Trace
 // one, so a server handling a request can fan out to another site
 // within the same trace. A zero sc degenerates to CallTraced.
 func (c *TCPClient) CallInTrace(sc obs.SpanContext, method string, payload []byte) ([]byte, error) {
-	out, _, err := c.callSpan(obs.Default.ContinueSpan(method, "client", sc.Trace, sc.Parent), method, payload)
+	out, _, _, err := c.callSpan(obs.Default.ContinueSpan(method, "client", sc.Trace, sc.Parent), method, payload)
 	return out, err
 }
 
+// CallPooled is Call for the allocation-free decode path: the returned
+// payload is backed by a pooled frame buffer, and release (when
+// non-nil) recycles it. The caller must not touch the payload — or
+// anything aliasing it — after calling release, and must not call
+// release twice; callers that decode-and-drop (gob into a typed
+// struct) release immediately after decoding. Dropping release instead
+// of calling it is always safe: the buffer just falls to the GC.
+func (c *TCPClient) CallPooled(method string, payload []byte) ([]byte, func(), error) {
+	out, resp, _, err := c.callSpan(obs.StartSpan(method, "client"), method, payload)
+	return out, poolRelease(resp), err
+}
+
+// CallInTracePooled implements PooledTraceCaller: CallPooled
+// continuing the trace in sc, with CallInTrace's zero-sc behaviour.
+func (c *TCPClient) CallInTracePooled(sc obs.SpanContext, method string, payload []byte) ([]byte, func(), error) {
+	out, resp, _, err := c.callSpan(obs.Default.ContinueSpan(method, "client", sc.Trace, sc.Parent), method, payload)
+	return out, poolRelease(resp), err
+}
+
+// poolRelease adapts a pooled response frame into the release callback
+// of the pooled call API; nil when there is nothing to recycle.
+func poolRelease(f *frame) func() {
+	if f == nil || f.buf == nil {
+		return nil
+	}
+	return func() { releaseFrame(f) }
+}
+
 // callSpan issues the call under an already-opened client span and
-// settles the span and the per-method metrics.
-func (c *TCPClient) callSpan(sp *obs.Span, method string, payload []byte) ([]byte, obs.TraceID, error) {
+// settles the span and the per-method metrics. The returned frame is
+// the pooled response (nil on error or for an empty pre-v3 response);
+// pooled callers adapt it via poolRelease, plain callers drop it.
+func (c *TCPClient) callSpan(sp *obs.Span, method string, payload []byte) ([]byte, *frame, obs.TraceID, error) {
 	c.lastTrace.Store(uint64(sp.Trace))
-	payload, err := c.issue(sp, method, payload)
+	payload, resp, err := c.issue(sp, method, payload)
 	sp.End(err)
 	obs.Observe("transport_client_latency_ns", sp.Dur, "method", method)
 	obs.GetCounter("transport_client_rpcs_total", "method", method).Inc()
 	if err != nil {
 		obs.GetCounter("transport_client_errors_total", "method", method).Inc()
 	}
-	return payload, sp.Trace, err
+	return payload, resp, sp.Trace, err
+}
+
+// Err reports the client's terminal state: nil while the connection is
+// usable, otherwise the first connection-fatal error (or the closed
+// error after Close). Connection pools use it to route new calls away
+// from a dead stripe without issuing a doomed request.
+func (c *TCPClient) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errClientClosed
+	}
+	return c.dead
 }
 
 // issue registers the call in the pending map, hands its frame to the
@@ -526,11 +683,13 @@ func (c *TCPClient) callSpan(sp *obs.Span, method string, payload []byte) ([]byt
 // Every failure it returns is typed: RemoteError for server-side
 // failures, otherwise a CallError wrapping ErrCallTimeout /
 // ErrPeerClosed / ErrBadFrame — raw io.EOF or net timeouts never leak.
-func (c *TCPClient) issue(sp *obs.Span, method string, payload []byte) ([]byte, error) {
+// On success the pooled response frame rides along for callers that
+// recycle its buffer.
+func (c *TCPClient) issue(sp *obs.Span, method string, payload []byte) ([]byte, *frame, error) {
 	pc := &pendingCall{method: method, trace: sp.Trace, done: make(chan struct{})}
 	corr, err := c.register(pc, method, payload, sp)
 	if err != nil {
-		return nil, &CallError{Method: method, Err: err}
+		return nil, nil, &CallError{Method: method, Err: err}
 	}
 	select {
 	case c.sendq <- pc:
@@ -555,18 +714,18 @@ func (c *TCPClient) issue(sp *obs.Span, method string, payload []byte) ([]byte, 
 	case <-pc.done:
 	case <-deadline:
 		if c.abandon(corr) {
-			return nil, &CallError{Method: method, Err: fmt.Errorf("%w (after %v)", ErrCallTimeout, c.Timeout)}
+			return nil, nil, &CallError{Method: method, Err: fmt.Errorf("%w (after %v)", ErrCallTimeout, c.Timeout)}
 		}
 		<-pc.done // completion won the race; take its result
 	}
 	if pc.err != nil {
 		var remote *RemoteError
 		if errors.As(pc.err, &remote) {
-			return nil, pc.err
+			return nil, nil, pc.err
 		}
-		return nil, &CallError{Method: method, Err: pc.err}
+		return nil, nil, &CallError{Method: method, Err: pc.err}
 	}
-	return pc.resp.payload, nil
+	return pc.resp.payload, pc.resp, nil
 }
 
 // register allocates the call's correlation ID and parks it in the
@@ -616,20 +775,38 @@ func (c *TCPClient) take(corr uint64) *pendingCall {
 }
 
 // writeLoop is the writer goroutine: it serializes request frames onto
-// the connection in enqueue order. A write failure is connection-fatal
-// (framing state unknown), failing every pending call.
+// the connection in enqueue order, coalescing everything queued at
+// each wakeup into one vectored write — a pipelined burst of N calls
+// costs ~1 write syscall, not N. The write deadline is stamped once
+// per batch (and not at all when Timeout is zero), not per frame: the
+// time.Now + setsockopt pair was itself a measurable per-frame cost.
+// A write failure is connection-fatal (framing state unknown), failing
+// every pending call.
 func (c *TCPClient) writeLoop() {
 	defer c.wg.Done()
+	w := newBatchWriter(c.conn)
+	defer w.release()
 	for {
 		select {
 		case pc := <-c.sendq:
-			if pc.abandoned.Load() {
-				continue // timed out while queued; its response would be dropped anyway
-			}
 			if c.Timeout > 0 { //mits:nolock Timeout is set before the first Call and read-only after
 				_ = c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
 			}
-			if err := writeFrame(c.conn, pc.req); err != nil {
+		drain:
+			for {
+				if !pc.abandoned.Load() { // timed out while queued; its response would be dropped anyway
+					if err := w.add(pc.req); err != nil {
+						c.fail(classifyIOErr(err))
+						return
+					}
+				}
+				select {
+				case pc = <-c.sendq:
+				default:
+					break drain
+				}
+			}
+			if err := w.flush(); err != nil {
 				c.fail(classifyIOErr(err))
 				return
 			}
@@ -641,23 +818,32 @@ func (c *TCPClient) writeLoop() {
 
 // readLoop is the reader-dispatch goroutine: it decodes response
 // frames as they arrive — in whatever order the server completed them
-// — and hands each to its pending call by correlation ID. A read or
-// decode failure is connection-fatal.
+// — and hands each to its pending call by correlation ID. Response
+// bodies come from the frame pool: a caller using the pooled API
+// recycles the buffer when done decoding, a plain Call lets it fall to
+// the GC (putBuf is never called on it, so the pool stays coherent
+// either way). Frames nobody is waiting for are recycled on the spot.
+// A read or decode failure is connection-fatal.
 func (c *TCPClient) readLoop() {
 	defer c.wg.Done()
+	// One buffered reader amortizes the 2 read syscalls per frame
+	// (header + body) across a coalesced server flush.
+	br := bufio.NewReaderSize(c.conn, batchScratchSize)
 	for {
 		select {
 		case <-c.quit:
 			return
 		default:
 		}
-		resp, err := readFrame(c.conn, false)
+		resp, err := readFrame(br, true)
 		if err != nil {
 			c.fail(classifyIOErr(err))
 			return
 		}
 		if resp.kind != kindResponse {
-			c.fail(fmt.Errorf("%w: unexpected frame kind %d", ErrBadFrame, resp.kind))
+			kind := resp.kind
+			releaseFrame(resp)
+			c.fail(fmt.Errorf("%w: unexpected frame kind %d", ErrBadFrame, kind))
 			return
 		}
 		corr := resp.corr
@@ -668,12 +854,14 @@ func (c *TCPClient) readLoop() {
 		if pc == nil {
 			// Nobody is waiting: a call that timed out earlier, or a
 			// confused peer. Correlation IDs make late responses
-			// harmless — count and drop, keep the connection.
+			// harmless — count, recycle, drop, keep the connection.
 			obsUnknownCorr.Inc()
+			releaseFrame(resp)
 			continue
 		}
 		if resp.errText != "" {
 			pc.err = &RemoteError{Method: pc.method, Text: resp.errText}
+			releaseFrame(resp) // the error text is already copied out
 		} else {
 			pc.resp = resp
 		}

@@ -74,6 +74,18 @@ go test -race -run 'TestPipelineStress64|TestCloseDrainsPendingExactlyOnce' -v .
 echo "==> scripts/bench_pipeline.sh"
 ./scripts/bench_pipeline.sh
 
+# Saturation gate: the E32 hardware-limited transport benchmark (no
+# modeled store latency — gob vs binary-streaming codec, 1-conn vs
+# pooled, cache-hit allocs, interactive p99 under an 8 MB transfer)
+# merged into BENCH_pipeline.json. The script fails unless the pooled
+# streaming path beats the single-connection seed baseline by 2x, the
+# cached-hit call path is allocation-free, and chunking keeps
+# interactive tail latency bounded (within 2x idle, or >= 5x better
+# than a monolithic transfer on CPU-starved hosts). Runs after
+# bench_pipeline.sh: E29 rewrites the JSON, E32 merges into it.
+echo "==> scripts/bench_saturation.sh"
+./scripts/bench_saturation.sh
+
 # Cluster gate: the E31 chaos experiment (replica kill, shard
 # partition, heal-while-streaming against the sharded replicated
 # MEDIASTORE) re-run under the race detector with the per-scenario
